@@ -1,0 +1,55 @@
+"""Ablation: RP chunk size — the accuracy/latency trade of SecV-A1.
+
+The paper picks a 4-KiB chunk: smaller chunks would cut tPRED further but
+the noisier RBER estimate costs prediction accuracy (Fig. 12's spread grows
+as chunks shrink).  We quantify both sides with the analytic machinery:
+syndrome-weight concentration scales with the number of checked syndromes
+(∝ chunk size), and tPRED scales with the page-buffer words streamed.
+"""
+
+from repro.core.accuracy import RpAccuracyModel
+from repro.core.hardware import RpHardwareModel
+from repro.ldpc.analytic import SyndromeStatistics
+from repro.ldpc.capability import CapabilityCurve
+from repro.units import KIB
+
+#: paper-scale pruned syndrome count for a 4-KiB chunk
+_T_FULL = 1024
+CHUNKS = (1 * KIB, 2 * KIB, 4 * KIB)
+
+
+def _mean_accuracy(chunk_bytes: int) -> float:
+    """Analytic RP accuracy above capability for a chunk of this size."""
+    n_checks = _T_FULL * chunk_bytes // (4 * KIB)
+    stats = SyndromeStatistics(n_checks=n_checks, row_weight=36)
+    model = RpAccuracyModel(
+        stats, stats.threshold_for_rber(0.0085), CapabilityCurve.paper_nominal()
+    )
+    grid = [0.0005 * k for k in range(18, 41)]  # 0.009 .. 0.020
+    return sum(model.accuracy(r) for r in grid) / len(grid)
+
+
+def test_ablation_chunk_size(benchmark):
+    hardware = RpHardwareModel()
+
+    def sweep():
+        return {
+            chunk: (_mean_accuracy(chunk), hardware.t_pred_us(chunk))
+            for chunk in CHUNKS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nchunk   accuracy(above cap)  tPRED")
+    for chunk, (acc, t_pred) in results.items():
+        print(f"{chunk // KIB:4d}K  {acc:18.4f}  {t_pred:5.2f}us")
+
+    accs = [results[c][0] for c in CHUNKS]
+    tpreds = [results[c][1] for c in CHUNKS]
+    # accuracy improves with chunk size, latency grows with it
+    assert accs == sorted(accs)
+    assert tpreds == sorted(tpreds)
+    # the paper's choice: 4-KiB accuracy is high and the marginal gain from
+    # halving tPRED (2 KiB) costs visible accuracy
+    assert results[4 * KIB][0] > 0.96
+    assert results[4 * KIB][0] - results[1 * KIB][0] > 0.005
+    assert results[4 * KIB][1] <= 2.5 + 1e-9

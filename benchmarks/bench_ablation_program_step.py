@@ -1,0 +1,57 @@
+"""Ablation: ISPP program step — the program-speed / reliability dial.
+
+Coarser pulses program faster (lower tPROG) but widen every VTH state, so
+pages cross the ECC capability after less retention — more read-retries for
+the read path to absorb.  This sweep quantifies the whole chain:
+step -> (tPROG, sigma) -> retention window at the capability.
+"""
+
+from repro.nand.ispp import IsppConfig, IsppProgrammer
+from repro.nand.vth import PageType, TlcVthModel
+
+STEPS_V = (0.16, 0.32, 0.48, 0.64)
+CAPABILITY = 0.0085
+
+
+def _months_to_capability(vth_model: TlcVthModel) -> float:
+    """Retention (months) until a fresh CSB page exceeds the capability."""
+    lo, hi = 0.0, 24.0
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        if vth_model.page_rber(PageType.CSB, 0.0, mid) < CAPABILITY:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def test_ablation_program_step(benchmark):
+    def sweep():
+        out = {}
+        for step in STEPS_V:
+            programmer = IsppProgrammer(IsppConfig(step_v=step))
+            vth = TlcVthModel(programmer.derived_vth_config())
+            out[step] = (
+                programmer.program_time_us(),
+                programmer.final_sigma(),
+                _months_to_capability(vth),
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nstep(V)  tPROG(us)  sigma(V)  retention window (months)")
+    for step, (t_prog, sigma, months) in results.items():
+        print(f"{step:7.2f} {t_prog:9.0f} {sigma:9.3f} {months:12.2f}")
+
+    t_progs = [results[s][0] for s in STEPS_V]
+    sigmas = [results[s][1] for s in STEPS_V]
+    windows = [results[s][2] for s in STEPS_V]
+    # finer steps: slower programming, tighter states, longer windows
+    assert t_progs == sorted(t_progs, reverse=True)
+    assert sigmas == sorted(sigmas)
+    assert windows == sorted(windows, reverse=True)
+    # the Table-I operating point: ~400 us and a ~1 month retention window,
+    # consistent with the paper's monthly-refresh assumption
+    nominal = results[0.32]
+    assert abs(nominal[0] - 400.0) < 30.0
+    assert 0.5 < nominal[2] < 3.0

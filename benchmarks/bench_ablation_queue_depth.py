@@ -1,0 +1,43 @@
+"""Ablation: host queue depth — where each scheme saturates.
+
+Deep queues let plane/channel parallelism hide latency.  RiF saturates
+like the ideal device; reactive schemes saturate lower because their
+ceiling is effective channel bandwidth, not parallelism.
+"""
+
+from repro.config import small_test_config
+from repro.ssd import SSDSimulator
+from repro.workloads import generate
+
+DEPTHS = (1, 4, 16, 64)
+
+
+def test_ablation_queue_depth(benchmark):
+    trace = generate("Ali124", n_requests=400, user_pages=8000, seed=12)
+    config = small_test_config()
+
+    def sweep():
+        out = {}
+        for policy in ("SWR", "RiFSSD", "SSDzero"):
+            for depth in DEPTHS:
+                ssd = SSDSimulator(config, policy=policy, pe_cycles=2000,
+                                   seed=12)
+                out[(policy, depth)] = ssd.run_trace(
+                    trace, queue_depth=depth
+                ).io_bandwidth_mb_s
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\npolicy    " + "".join(f"QD={d:<8d}" for d in DEPTHS))
+    for policy in ("SWR", "RiFSSD", "SSDzero"):
+        print(f"{policy:8s}  "
+              + "".join(f"{results[(policy, d)]:<11.0f}" for d in DEPTHS))
+
+    for policy in ("SWR", "RiFSSD", "SSDzero"):
+        bws = [results[(policy, d)] for d in DEPTHS]
+        # bandwidth grows with queue depth and saturates
+        assert bws[-1] > 2.0 * bws[0]
+        assert bws == sorted(bws)
+    # RiF's saturated bandwidth tracks the ideal; SWR's ceiling is far lower
+    assert results[("RiFSSD", 64)] > 0.9 * results[("SSDzero", 64)]
+    assert results[("SWR", 64)] < 0.7 * results[("SSDzero", 64)]

@@ -1,0 +1,58 @@
+"""Ablation: read-disturb management threshold.
+
+The paper's introduction counts read-disturb management among the
+SSD-internal traffic that erodes effective channel bandwidth (SecI).  This
+sweep quantifies it: aggressive relocation thresholds spend channel time on
+block rewrites, lax thresholds let block read counters (and the disturb
+term of the RBER model) grow.
+"""
+
+from repro.config import small_test_config
+from repro.ssd import SSDSimulator
+from repro.units import KIB
+from repro.workloads.trace import IORequest, Trace
+
+THRESHOLDS = (25, 100, 400, None)
+
+
+def _hot_trace(n=900, pages=6):
+    return Trace([
+        IORequest(float(i), "R", (i % pages) * 16 * KIB, 16 * KIB)
+        for i in range(n)
+    ], name="read-hammer")
+
+
+def test_ablation_read_disturb_threshold(benchmark):
+    trace = _hot_trace()
+    config = small_test_config()
+
+    def sweep():
+        out = {}
+        for threshold in THRESHOLDS:
+            ssd = SSDSimulator(config, policy="RiFSSD", pe_cycles=1000,
+                               seed=6, read_disturb_threshold=threshold)
+            result = ssd.run_trace(trace, queue_depth=8)
+            worst = max(ssd.ftl._block_reads.values(), default=0)
+            out[threshold] = (
+                result.io_bandwidth_mb_s,
+                result.metrics.disturb_relocations,
+                worst,
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nthreshold  bandwidth  relocations  worst block reads")
+    for threshold, (bw, relocs, worst) in results.items():
+        label = str(threshold) if threshold else "off"
+        print(f"{label:>9s} {bw:9.0f}  {relocs:10d}  {worst:10d}")
+
+    # more aggressive thresholds relocate more and cap counters tighter
+    relocs = [results[t][1] for t in (25, 100, 400)]
+    assert relocs == sorted(relocs, reverse=True)
+    assert results[25][2] < results[None][2]
+    assert results[None][1] == 0
+    # relocation traffic (copies + 3.5-ms erases) taxes bandwidth
+    # monotonically as the threshold tightens
+    bws = [results[t][0] for t in (25, 100, 400)]
+    assert bws == sorted(bws)
+    assert results[400][0] == results[None][0]  # never triggered = free

@@ -1,0 +1,46 @@
+"""Ablation: RiF's footnote-4 variant — RP rechecks the re-read page.
+
+With the shipped Swift-Read quality (residual RBER ~15% of capability) the
+recheck is pure overhead; when the voltage selector is poor (residual near
+the capability) the recheck recovers most of RiF's channel cleanliness.
+"""
+
+from repro.config import small_test_config
+from repro.ssd import SSDSimulator
+from repro.ssd.ecc_model import EccOutcomeModel
+from repro.workloads import generate
+
+
+def _run(trace, recheck, retry_factor, seed=33):
+    config = small_test_config()
+    model = EccOutcomeModel(ecc=config.ecc, retry_rber_factor=retry_factor,
+                            seed=seed)
+    ssd = SSDSimulator(config, policy="RiFSSD", pe_cycles=2000, seed=seed,
+                       outcome_model=model,
+                       policy_kwargs={"recheck_reread": recheck})
+    result = ssd.run_trace(trace)
+    return result.io_bandwidth_mb_s, result.metrics.uncorrectable_transfers
+
+
+def test_ablation_reread_recheck(benchmark):
+    trace = generate("Ali124", n_requests=400, user_pages=8000, seed=33)
+
+    def sweep():
+        out = {}
+        for quality, factor in (("good_rvs", 0.15), ("poor_rvs", 0.95)):
+            for recheck in (False, True):
+                out[(quality, recheck)] = _run(trace, recheck, factor)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nRVS quality  recheck  bandwidth  uncor transfers")
+    for (quality, recheck), (bw, uncor) in results.items():
+        print(f"{quality:11s} {str(recheck):7s} {bw:9.0f}  {uncor:8d}")
+
+    # with a good voltage selector the recheck changes almost nothing
+    good_off, good_on = results[("good_rvs", False)], results[("good_rvs", True)]
+    assert abs(good_on[0] - good_off[0]) / good_off[0] < 0.03
+    # with a poor selector the recheck suppresses most bad transfers
+    poor_off, poor_on = results[("poor_rvs", False)], results[("poor_rvs", True)]
+    assert poor_off[1] > 3 * max(good_off[1], 1)
+    assert poor_on[1] < poor_off[1] * 0.7

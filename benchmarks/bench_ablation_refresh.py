@@ -1,0 +1,53 @@
+"""Ablation: retention-refresh period (SecIV-B footnote 3).
+
+The paper assumes monthly refresh.  The planner quantifies the trade-off
+refresh period <-> retry incidence <-> write overhead, and shows a
+RiF-specific consequence: because RiF's retries cost (almost) no channel
+bandwidth, it tolerates much longer refresh periods than reactive schemes —
+saving P/E cycles on top of the read-path gains.
+"""
+
+from repro.ssd.refresh import RefreshPlanner
+
+PERIODS = (5.0, 10.0, 20.0, 30.0, 45.0, 60.0)
+
+
+def test_ablation_refresh_period(benchmark):
+    planner = RefreshPlanner()
+
+    def sweep():
+        table = {}
+        for pe in (0.0, 1000.0, 2000.0):
+            for days in PERIODS:
+                table[(pe, days)] = planner.assess(pe, days)
+            table[(pe, "opt_reactive")] = planner.optimal_refresh_days(
+                pe, retry_channel_cost=1.5
+            )
+            table[(pe, "opt_rif")] = planner.optimal_refresh_days(
+                pe, retry_channel_cost=0.02
+            )
+        return table
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nP/E    period  P(retry)  write-ovh  read-ovh  total")
+    for pe in (0.0, 1000.0, 2000.0):
+        for days in PERIODS:
+            a = results[(pe, days)]
+            print(f"{pe:5.0f} {days:6.0f}d {a.cold_retry_probability:8.3f} "
+                  f"{a.refresh_write_overhead:9.4f} "
+                  f"{a.read_retry_overhead:8.4f} {a.total_overhead:7.4f}")
+        ropt = results[(pe, "opt_reactive")]
+        fopt = results[(pe, "opt_rif")]
+        print(f"  -> optimal period: reactive {ropt.refresh_days:.0f}d, "
+              f"RiF {fopt.refresh_days:.0f}d")
+
+    for pe in (0.0, 1000.0, 2000.0):
+        reactive = results[(pe, "opt_reactive")]
+        rif = results[(pe, "opt_rif")]
+        # RiF tolerates a longer (or equal) refresh period at lower total cost
+        assert rif.refresh_days >= reactive.refresh_days
+        assert rif.total_overhead <= reactive.total_overhead
+    # wear pulls the reactive optimum earlier
+    assert (results[(2000.0, "opt_reactive")].refresh_days
+            <= results[(0.0, "opt_reactive")].refresh_days)

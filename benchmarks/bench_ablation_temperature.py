@@ -1,0 +1,50 @@
+"""Ablation: operating temperature (Arrhenius retention acceleration).
+
+Retention ages exponentially faster in a hot chassis ([20] HeatWatch), so
+the retry incidence — and with it the gap between RiF and reactive retry —
+grows with temperature even at fixed wear and fixed refresh period.
+"""
+
+from repro.config import small_test_config
+from repro.ssd import SSDSimulator
+from repro.workloads import generate
+
+TEMPS_C = (25.0, 40.0, 55.0, 70.0)
+
+
+def test_ablation_operating_temperature(benchmark):
+    trace = generate("Ali124", n_requests=400, user_pages=8000, seed=18)
+    config = small_test_config()
+
+    def sweep():
+        out = {}
+        for temp in TEMPS_C:
+            for policy in ("SWR", "RiFSSD"):
+                ssd = SSDSimulator(config, policy=policy, pe_cycles=1000,
+                                   seed=18, operating_temp_c=temp)
+                result = ssd.run_trace(trace)
+                out[(policy, temp)] = (result.io_bandwidth_mb_s,
+                                       result.metrics.retry_rate())
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\ntemp  SWR bw   retry | RiF bw   retry | RiF gain")
+    for temp in TEMPS_C:
+        swr_bw, swr_rr = results[("SWR", temp)]
+        rif_bw, rif_rr = results[("RiFSSD", temp)]
+        print(f"{temp:3.0f}C {swr_bw:7.0f} {swr_rr:6.1%} | "
+              f"{rif_bw:7.0f} {rif_rr:6.1%} | {rif_bw / swr_bw:6.2f}x")
+
+    # retries grow monotonically with temperature
+    retries = [results[("SWR", t)][1] for t in TEMPS_C]
+    assert retries == sorted(retries)
+    # a cool chassis (25 C) retries rarely; a hot one (70 C) almost always
+    assert retries[0] < 0.35
+    assert retries[-1] > 0.6
+    # RiF's advantage widens with heat
+    gains = [results[("RiFSSD", t)][0] / results[("SWR", t)][0] for t in TEMPS_C]
+    assert gains[-1] > gains[0]
+    # and RiF stays near its cool-chassis bandwidth even at 70 C
+    rif_cool = results[("RiFSSD", 25.0)][0]
+    rif_hot = results[("RiFSSD", 70.0)][0]
+    assert rif_hot > 0.9 * rif_cool

@@ -1,0 +1,13 @@
+"""Fig. 3 — QC-LDPC failure probability and iterations vs RBER."""
+
+
+def test_fig3_ldpc_capability(run_experiment):
+    result = run_experiment("fig3")
+    rows = result.rows
+    # failure probability and iterations both rise monotonically-ish with
+    # RBER, spanning the waterfall
+    assert rows[0]["p_fail"] < 0.05
+    assert rows[-1]["p_fail"] > 0.6
+    assert rows[0]["avg_iterations"] < rows[-1]["avg_iterations"]
+    # capability in the same decade as the paper's 0.0085
+    assert 0.004 < result.headline["capability_rber_at_10pct_failure"] < 0.012

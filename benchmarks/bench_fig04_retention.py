@@ -1,0 +1,15 @@
+"""Fig. 4 — retention time until RBER exceeds the ECC capability."""
+
+
+def test_fig4_retention_crossings(run_experiment):
+    result = run_experiment("fig4")
+    h = result.headline
+    # the paper's anchors: retries may begin after 17/14/10/8 days at
+    # 0/200/500/1000 P/E cycles
+    assert abs(h["pe0_first_retry_day"] - 17.0) < 1.5
+    assert abs(h["pe200_first_retry_day"] - 14.0) < 1.5
+    assert abs(h["pe500_first_retry_day"] - 10.0) < 1.0
+    assert abs(h["pe1000_first_retry_day"] - 8.0) < 1.0
+    # crossings move earlier with wear
+    days = [h[f"pe{pe}_first_retry_day"] for pe in (0, 100, 200, 300, 500, 1000)]
+    assert days == sorted(days, reverse=True)

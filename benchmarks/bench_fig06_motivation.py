@@ -1,0 +1,16 @@
+"""Fig. 6 — even ideal reactive retry (SSDone) degrades bandwidth."""
+
+
+def test_fig6_ssdone_vs_ssdzero(run_experiment):
+    result = run_experiment("fig6")
+    h = result.headline
+    # paper: 19.4% / 34.9% / 50.4% average degradation at 0K/1K/2K —
+    # require the same ordering and the same ballpark
+    assert 0.08 < h["avg_degradation_pe0"] < 0.30
+    assert 0.25 < h["avg_degradation_pe1000"] < 0.50
+    assert 0.33 < h["avg_degradation_pe2000"] < 0.60
+    assert (h["avg_degradation_pe0"] < h["avg_degradation_pe1000"]
+            < h["avg_degradation_pe2000"])
+    # every individual workload degrades when retries appear
+    for row in result.rows:
+        assert row["SSDone_mb_s"] <= row["SSDzero_mb_s"]

@@ -1,0 +1,15 @@
+"""Figs. 7 and 8 — execution-timeline anatomy of a 256-KiB read."""
+
+
+def test_fig7_fig8_timeline(run_experiment):
+    result = run_experiment("fig7")
+    spans = {row["policy"]: row["makespan_us"] for row in result.rows}
+    paper = {row["policy"]: row["paper_us"] for row in result.rows}
+    # within 5% of each of the paper's three makespans (252/418/292 us)
+    for policy in ("SSDzero", "SSDone", "RiFSSD"):
+        assert abs(spans[policy] - paper[policy]) / paper[policy] < 0.05
+    # RiF saves most of SSDone's retry penalty
+    assert result.headline["rif_saving_vs_ssdone_us"] > 80.0
+    # and the failed commands' transfers vanish from the channel under RiF
+    uncor = {row["policy"]: row["uncor_transfers"] for row in result.rows}
+    assert uncor["SSDone"] == 8 and uncor["RiFSSD"] == 0

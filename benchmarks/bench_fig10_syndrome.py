@@ -1,0 +1,18 @@
+"""Fig. 10 — RBER vs syndrome-weight correlation and rho_s."""
+
+
+def test_fig10_syndrome_correlation(run_experiment):
+    result = run_experiment("fig10")
+    rows = result.rows
+    measured = [r["avg_weight_measured"] for r in rows]
+    analytic = [r["avg_weight_analytic"] for r in rows]
+    # monotone growth of the average weight with RBER (analytic exactly,
+    # measured allowing MC noise across the full span)
+    assert analytic == sorted(analytic)
+    assert measured[-1] > measured[len(measured) // 2] > measured[0]
+    # MC agrees with the closed form within 15% everywhere
+    for m, a in zip(measured, analytic):
+        assert abs(m - a) <= 0.15 * max(a, 1.0)
+    # rho_s sits strictly inside the weight range, as in the paper
+    assert 0 < result.headline["rho_s"]
+    assert result.headline["rho_s_fraction_of_max"] < 0.5

@@ -1,0 +1,11 @@
+"""Fig. 12 — intra-page chunk RBER similarity."""
+
+
+def test_fig12_chunk_similarity(run_experiment):
+    result = run_experiment("fig12")
+    h = result.headline
+    # the paper's ordering: 4-KiB chunks agree best, 1-KiB worst
+    assert h["worst_4k"] < h["worst_2k"] < h["worst_1k"]
+    # same ballpark as the paper's <=4.5% (4K) and <=13.5% (1K)
+    assert h["worst_4k"] < 0.10
+    assert h["worst_1k"] < 0.25

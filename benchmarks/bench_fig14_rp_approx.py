@@ -1,0 +1,13 @@
+"""Fig. 14 — RP accuracy with chunk-based prediction + syndrome pruning."""
+
+from repro.experiments import get_experiment
+
+
+def test_fig14_rp_accuracy_approx(run_experiment):
+    result = run_experiment("fig14")
+    assert result.headline["mean_accuracy_above_capability"] > 0.75
+    # the approximations cost only a little accuracy vs the exact RP
+    exact = get_experiment("fig11").run(scale="small", seed=7)
+    approx_mean = result.headline["mean_accuracy_above_capability"]
+    exact_mean = exact.headline["mean_accuracy_above_capability"]
+    assert approx_mean > exact_mean - 0.12

@@ -1,0 +1,24 @@
+"""Fig. 17 — the headline result: normalized I/O bandwidth of all schemes."""
+
+
+def test_fig17_normalized_bandwidth(run_experiment):
+    result = run_experiment("fig17")
+    h = result.headline
+    # paper geomeans for RiF over SENC: +23.8% / +47.4% / +72.1% — require
+    # the same growth-with-wear trend and overlapping ballparks
+    assert h["rif_vs_senc_pe0"] > 0.05
+    assert h["rif_vs_senc_pe1000"] > 0.30
+    assert h["rif_vs_senc_pe2000"] > 0.45
+    assert (h["rif_vs_senc_pe0"] < h["rif_vs_senc_pe1000"]
+            < h["rif_vs_senc_pe2000"])
+    # paper: RiF within 1.8% of the ideal SSDzero; allow 6% at this scale
+    for pe in (0, 1000, 2000):
+        assert h[f"rif_vs_zero_gap_pe{pe}"] < 0.06
+    # per-wear geomean ordering: SENC <= RPSSD/SWR < SWR+ < RiF <= SSDzero
+    gm = {row["pe_cycles"]: row for row in result.rows
+          if row["workload"] == "geomean"}
+    for pe in (1000.0, 2000.0):
+        row = gm[pe]
+        assert row["SENC"] <= row["SWR"] <= row["SWR+"]
+        assert row["SWR+"] < row["RiFSSD"] <= row["SSDzero"] * 1.02
+        assert row["SWR"] < row["RPSSD"] < row["RiFSSD"]

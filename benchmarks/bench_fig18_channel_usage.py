@@ -1,0 +1,18 @@
+"""Fig. 18 — channel-usage breakdown in Ali121 and Ali124."""
+
+
+def test_fig18_channel_usage(run_experiment):
+    result = run_experiment("fig18")
+    h = result.headline
+    # paper (Ali121 @ 2K): RiF wastes 1.8% on UNCOR vs 19.9% for RPSSD
+    assert h["RiFSSD_uncor_ali121_2k"] < 0.05
+    assert h["RPSSD_uncor_ali121_2k"] > 0.10
+    assert h["SWR_uncor_ali121_2k"] > 0.10
+    rows = {(r["workload"], r["pe_cycles"], r["policy"]): r for r in result.rows}
+    # reactive SWR loses a large share to UNCOR+ECCWAIT in Ali124 at 2K
+    swr = rows[("Ali124", 2000.0, "SWR")]
+    assert swr["UNCOR"] + swr["ECCWAIT"] > 0.30
+    # RiF's channel time is overwhelmingly useful COR transfers
+    rif = rows[("Ali124", 2000.0, "RiFSSD")]
+    assert rif["COR"] > 0.5
+    assert rif["ECCWAIT"] < 0.05

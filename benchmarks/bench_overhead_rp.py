@@ -1,0 +1,15 @@
+"""SecVI-C — RP module PPA and energy overheads."""
+
+
+def test_overhead_rp_module(run_experiment):
+    result = run_experiment("overhead")
+    measured = {row["metric"]: row["measured"] for row in result.rows}
+    # paper synthesis: 0.012 mm2, 1.28 mW, tPRED 2.5 us, 3.2 nJ/prediction
+    assert abs(measured["area_mm2"] - 0.012) < 0.002
+    assert abs(measured["power_mw"] - 1.28) < 0.15
+    assert abs(measured["t_pred_us"] - 2.5) < 0.05
+    assert abs(measured["energy_per_prediction_nj"] - 3.2) < 0.4
+    # prediction energy is ~300x smaller than the transfer it can avoid
+    ratio = measured["transfer_energy_saved_nj"] / measured["energy_per_prediction_nj"]
+    assert ratio > 200
+    assert result.headline["expected_delta_per_read_at_60pct_retry_nj"] < 0

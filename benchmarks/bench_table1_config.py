@@ -1,0 +1,13 @@
+"""Table I — evaluated SSD configuration (instantiation + invariants)."""
+
+
+def test_table1_configuration(run_experiment):
+    result = run_experiment("table1")
+    values = {row["parameter"]: row for row in result.rows}
+    for parameter, row in values.items():
+        if row["paper"] in ("", None):
+            continue
+        measured, paper = row["value"], row["paper"]
+        assert abs(measured - paper) <= 0.05 * max(abs(paper), 1.0), parameter
+    assert result.headline["aggregate_channel_GB_s"] > 8.0
+    assert result.headline["per_channel_sense_GB_s"] > 1.2

@@ -1,0 +1,14 @@
+"""Table II — workload characteristics of the eight traces."""
+
+
+def test_table2_workload_characteristics(run_experiment):
+    result = run_experiment("table2")
+    assert result.headline["worst_read_ratio_error"] < 0.03
+    assert result.headline["worst_cold_ratio_error"] < 0.04
+    rows = {r["workload"]: r for r in result.rows}
+    assert set(rows) == {"Ali2", "Ali46", "Ali81", "Ali121", "Ali124",
+                         "Ali295", "Sys0", "Sys1"}
+    # the paper's extremes: Ali124 most read-intensive, Ali2 most write-heavy
+    assert rows["Ali124"]["read_ratio"] > 0.9
+    assert rows["Ali2"]["read_ratio"] < 0.35
+    assert rows["Sys1"]["cold_read_ratio"] > 0.75

@@ -1,0 +1,34 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper via the
+experiment registry, prints the rows the paper reports, and asserts the
+qualitative *shape* the paper claims (who wins, rough factors, where
+crossovers fall).  Each experiment runs exactly once per benchmark
+(``pedantic(rounds=1)``) — the interesting number is the artefact, the
+timing is a bonus.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def run_experiment(benchmark):
+    """Run a registered experiment under the benchmark clock and print its
+    table."""
+    from repro.experiments import get_experiment
+
+    def runner(experiment_id: str, scale: str = "small", seed: int = 7):
+        result = benchmark.pedantic(
+            lambda: get_experiment(experiment_id).run(scale=scale, seed=seed),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.format_table())
+        return result
+
+    return runner

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""ODEAR under the microscope: one page, real codewords, real decoding.
+
+This example works at the *functional* level — actual LDPC codewords stored
+in a behavioural flash die whose error rates come from the TLC threshold-
+voltage physics.  It ages a page day by day and shows, at each age:
+
+* the true RBER of a default-voltage sense,
+* the pruned syndrome weight the on-die RP computes (and its verdict),
+* what each read path (conventional retry-table walk, reactive Swift-Read,
+  RiF) pays in senses and off-chip transfers to recover the data.
+
+Run:  python examples/odear_microscope.py
+"""
+
+import numpy as np
+
+from repro.config import LdpcCodeConfig
+from repro.core import (
+    CodewordPipeline,
+    ConventionalReadPath,
+    OdearEngine,
+    ReadRetryPredictor,
+    RifReadPath,
+    SwiftReadPath,
+)
+from repro.ldpc import QcLdpcCode
+from repro.nand import FlashDie
+
+
+def main() -> None:
+    code = QcLdpcCode(LdpcCodeConfig(circulant_size=67))
+    pipeline = CodewordPipeline(code)
+    rp = ReadRetryPredictor(code)
+    print(f"code: {code!r}")
+    print(f"RP threshold rho_s = {rp.threshold} "
+          f"(expected pruned syndrome weight at RBER "
+          f"{rp.capability_rber})\n")
+
+    rng = np.random.default_rng(0)
+    message = rng.integers(0, 2, pipeline.message_bits, dtype=np.uint8)
+
+    print(f"{'age':>5s} {'RBER':>8s} {'weight':>7s} {'verdict':>9s}   "
+          f"{'conventional':>16s} {'swift-read':>14s} {'RiF':>12s}")
+    for age_days in (0, 10, 20, 30, 40, 50):
+        die = FlashDie(blocks=1, pages_per_block=3, page_bits=code.n, seed=4)
+        die.program(0, 0, 0, pipeline.prepare(message, page_key=1))
+        die.advance_time(float(age_days))
+
+        sense = die.read(0, 0, 0)
+        verdict = rp.predict(die.page_buffer(0), rearranged=True)
+
+        def cost(path) -> str:
+            die2 = FlashDie(blocks=1, pages_per_block=3, page_bits=code.n,
+                            seed=4)
+            die2.program(0, 0, 0, pipeline.prepare(message, page_key=1))
+            die2.advance_time(float(age_days))
+            result = path(die2)
+            assert result.success, "data must always be recoverable"
+            assert np.array_equal(result.message, message)
+            return f"{result.stats.senses}s/{result.stats.transfers}x"
+
+        conventional = cost(lambda d: ConventionalReadPath(pipeline).read(
+            d, 0, 0, 0, page_key=1))
+        swift = cost(lambda d: SwiftReadPath(pipeline).read(
+            d, 0, 0, 0, page_key=1))
+        rif = cost(lambda d: RifReadPath(
+            pipeline, OdearEngine(ReadRetryPredictor(code))).read(
+                d, 0, 0, 0, page_key=1))
+
+        print(f"{age_days:4d}d {sense.true_rber:8.5f} "
+              f"{verdict.syndrome_weight:7d} "
+              f"{'RETRY' if verdict.needs_retry else 'ok':>9s}   "
+              f"{conventional:>16s} {swift:>14s} {rif:>12s}")
+
+    print("\nlegend: Ns/Mx = N senses inside the die, M transfers over the "
+          "channel.\nAs the page ages past the code's capability, reactive "
+          "paths burn extra\ntransfers on doomed pages; RiF keeps the "
+          "channel traffic at one page.")
+
+
+if __name__ == "__main__":
+    main()

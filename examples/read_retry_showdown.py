@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The full Fig.-17-style showdown: every retry scheme, every wear level.
+
+Runs all seven SSD configurations (hypothetical SSDzero, ideal-reactive
+SSDone, Sentinel, Swift-Read, Swift-Read + VREF tracking, controller-side
+RP, and RiF) over a mixed set of workloads and prints bandwidths normalized
+to Sentinel — the paper's Fig. 17 presentation.
+
+Run:  python examples/read_retry_showdown.py [--full]
+"""
+
+import argparse
+import math
+
+from repro import SSDSimulator, generate, small_test_config
+
+POLICIES = ("SSDzero", "SSDone", "SENC", "SWR", "SWR+", "RPSSD", "RiFSSD")
+WORKLOADS = ("Ali2", "Ali121", "Ali124", "Sys0")
+PE_POINTS = (0, 1000, 2000)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true",
+                        help="more requests for smoother numbers")
+    args = parser.parse_args()
+    n_requests = 2000 if args.full else 500
+
+    config = small_test_config()
+    traces = {
+        name: generate(name, n_requests=n_requests, user_pages=10_000, seed=3)
+        for name in WORKLOADS
+    }
+
+    for pe in PE_POINTS:
+        print(f"\n=== {pe} P/E cycles (bandwidth normalized to SENC) ===")
+        header = f"{'workload':10s}" + "".join(f"{p:>9s}" for p in POLICIES)
+        print(header)
+        ratios = {p: [] for p in POLICIES}
+        for name, trace in traces.items():
+            bws = {}
+            for policy in POLICIES:
+                ssd = SSDSimulator(config, policy=policy, pe_cycles=pe, seed=5)
+                bws[policy] = ssd.run_trace(trace).io_bandwidth_mb_s
+            line = f"{name:10s}"
+            for policy in POLICIES:
+                ratio = bws[policy] / bws["SENC"]
+                ratios[policy].append(ratio)
+                line += f"{ratio:9.2f}"
+            print(line)
+        geo = {
+            p: math.exp(sum(map(math.log, ratios[p])) / len(ratios[p]))
+            for p in POLICIES
+        }
+        print(f"{'geomean':10s}" + "".join(f"{geo[p]:9.2f}" for p in POLICIES))
+        print(f"RiF gains {geo['RiFSSD'] - 1:+.1%} over Sentinel; gap to the "
+              f"ideal SSDzero: {1 - geo['RiFSSD'] / geo['SSDzero']:.1%}")
+
+
+if __name__ == "__main__":
+    main()

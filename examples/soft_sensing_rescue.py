@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Soft-decision rescue: reading data that hard decoding cannot recover.
+
+Ages a page far past the code's hard-decision capability, then shows the
+recovery ladder a real SSD walks:
+
+1. default-voltage hard read  -> decode fails,
+2. Swift-Read re-read         -> decode fails too once the page is old
+                                 enough (residual errors above capability),
+3. multi-read soft combining  -> decodes, because K independent senses at
+                                 the corrected voltages push the effective
+                                 error rate far below the waterfall.
+
+Run:  python examples/soft_sensing_rescue.py
+"""
+
+import numpy as np
+
+from repro.config import LdpcCodeConfig
+from repro.core import CodewordPipeline
+from repro.ldpc import QcLdpcCode
+from repro.ldpc.soft import SoftReadDecoder, combine_reads_llr
+from repro.ldpc.syndrome import restore_codeword
+from repro.nand import FlashDie
+
+
+def main() -> None:
+    code = QcLdpcCode(LdpcCodeConfig(circulant_size=67))
+    pipeline = CodewordPipeline(code)
+    soft = SoftReadDecoder(code, channel_p=0.01)
+
+    rng = np.random.default_rng(1)
+    message = rng.integers(0, 2, pipeline.message_bits, dtype=np.uint8)
+    die = FlashDie(blocks=1, pages_per_block=3, page_bits=code.n, seed=7)
+    die.program(0, 0, 0, pipeline.prepare(message, page_key=1))
+    die.advance_time(75.0)  # two and a half months: far past capability
+
+    print(f"code: {code!r}")
+    print(f"page aged 75 days; default-sense RBER = "
+          f"{die.sense_rber(0, 0, 0):.4f}\n")
+
+    # step 1: hard read at default voltages
+    hard = die.read(0, 0, 0)
+    recovered, decode = pipeline.recover(hard.bits, page_key=1)
+    print(f"1. hard read:          {hard.n_bit_errors:4d} bit errors -> "
+          f"decode {'OK' if decode.success else 'FAILS'} "
+          f"({decode.iterations} iterations)")
+
+    # step 2: one Swift-Read voltage-corrected re-read
+    swift = die.swift_read(0, 0, 0)
+    recovered, decode = pipeline.recover(swift.bits, page_key=1)
+    print(f"2. swift re-read:      {swift.n_bit_errors:4d} bit errors -> "
+          f"decode {'OK' if decode.success else 'FAILS'} "
+          f"({decode.iterations} iterations)")
+
+    # step 3: combine K corrected senses into soft LLRs
+    for k in (3, 5):
+        reads = [die.read(0, 0, 0, vref_offsets=swift.vref_offsets).bits
+                 for _ in range(k)]
+        restored = [restore_codeword(code, r) for r in reads]
+        result = soft.decoder.decode_llr(combine_reads_llr(restored, 0.01))
+        if result.success:
+            scrambled = pipeline.encoder.extract_message(result.bits)
+            data = pipeline.randomizer.descramble(scrambled, 1)
+            ok = np.array_equal(data, message)
+        else:
+            ok = False
+        print(f"3. soft x{k} senses:     majority residual "
+              f"{soft.expected_effective_rber(swift.true_rber, k):.5f} -> "
+              f"decode {'OK, data intact' if ok else 'FAILS'} "
+              f"({result.iterations} iterations)")
+
+    print("\nThis ladder is exactly the policies' fallback order in the "
+          "simulator: reactive\nrounds first, then the guaranteed "
+          "soft-decision recovery round.")
+
+
+if __name__ == "__main__":
+    main()

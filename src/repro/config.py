@@ -1,0 +1,263 @@
+"""Configuration dataclasses for the whole system.
+
+The defaults reproduce Table I of the paper:
+
+    Configuration   2-TiB total capacity; 8 channels; 4 dies/channel;
+                    4 planes/die; 1888 blocks/plane; 576 pages/block
+    Latencies (us)  tR = 40; tPROG = 400; tBERS = 3500;
+                    tDMA = 13; tECC = 1 to 20; tPRED = 2.5
+    Bandwidth       8.0 GB/s external I/O (PCIe 4.0 x4);
+                    1.2 GB/s channel I/O bandwidth
+    ECC engine      4-KiB LDPC with 0.0085 correction capability
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .errors import ConfigError
+from .units import KIB, gb_per_s_to_bytes_per_us
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Physical organisation of the flash array (Table I, row 1)."""
+
+    channels: int = 8
+    dies_per_channel: int = 4
+    planes_per_die: int = 4
+    blocks_per_plane: int = 1888
+    pages_per_block: int = 576
+    page_size: int = 16 * KIB
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "dies_per_channel",
+            "planes_per_die",
+            "blocks_per_plane",
+            "pages_per_block",
+            "page_size",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive, got {getattr(self, name)}")
+
+    @property
+    def total_dies(self) -> int:
+        return self.channels * self.dies_per_channel
+
+    @property
+    def total_planes(self) -> int:
+        return self.total_dies * self.planes_per_die
+
+    @property
+    def total_blocks(self) -> int:
+        return self.total_planes * self.blocks_per_plane
+
+    @property
+    def pages_per_plane(self) -> int:
+        return self.blocks_per_plane * self.pages_per_block
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_planes * self.pages_per_plane
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_pages * self.page_size
+
+
+@dataclass(frozen=True)
+class NandTimings:
+    """Flash operation latencies in microseconds (Table I, row 2)."""
+
+    t_read: float = 40.0       # page sense (tR)
+    t_prog: float = 400.0      # page program (tPROG)
+    t_erase: float = 3500.0    # block erase (tBERS)
+    t_dma: float = 13.0        # 16-KiB page transfer over a 1.2 GB/s channel
+    t_pred: float = 2.5        # on-die RP prediction (tPRED)
+    #: Extra sense time of a Swift-Read command: the command performs a second
+    #: sense at the corrected VREF inside the chip (paper SecIV-C / [32]).
+    t_swift_extra: float = 40.0
+
+    def __post_init__(self) -> None:
+        for name in ("t_read", "t_prog", "t_erase", "t_dma", "t_pred", "t_swift_extra"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Channel-level LDPC engine model (Table I, rows 2 and 4)."""
+
+    codeword_data_bytes: int = 4 * KIB
+    correction_capability: float = 0.0085  # max correctable RBER
+    t_ecc_min: float = 1.0                 # decode latency at negligible RBER
+    t_ecc_max: float = 20.0                # decode latency at/above capability
+    max_iterations: int = 20
+    #: Input-buffer depth of the channel-level decoder, in pages.  When the
+    #: buffer is full the channel cannot start another transfer (the paper's
+    #: ECCWAIT condition, SecIII-B3).
+    buffer_pages: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.correction_capability < 0.5:
+            raise ConfigError("correction_capability must be in (0, 0.5)")
+        if self.t_ecc_min <= 0 or self.t_ecc_max < self.t_ecc_min:
+            raise ConfigError("require 0 < t_ecc_min <= t_ecc_max")
+        if self.buffer_pages < 1:
+            raise ConfigError("buffer_pages must be >= 1")
+
+
+@dataclass(frozen=True)
+class BandwidthConfig:
+    """Link bandwidths (Table I, row 3)."""
+
+    host_gb_per_s: float = 8.0
+    channel_gb_per_s: float = 1.2
+
+    @property
+    def host_bytes_per_us(self) -> float:
+        return gb_per_s_to_bytes_per_us(self.host_gb_per_s)
+
+    @property
+    def channel_bytes_per_us(self) -> float:
+        return gb_per_s_to_bytes_per_us(self.channel_gb_per_s)
+
+
+@dataclass(frozen=True)
+class LdpcCodeConfig:
+    """Structure of the QC-LDPC code used by the reliability experiments.
+
+    The paper's production code is a 4x36 block matrix of 1024x1024
+    circulants (footnote 6).  Pure-Python Monte Carlo at that scale is slow,
+    so the default experiment scale keeps the 4x36 *structure* with smaller
+    circulants; ``paper_scale()`` returns the full-size construction.
+    """
+
+    block_rows: int = 4        # r
+    block_cols: int = 36       # c
+    circulant_size: int = 128  # t
+
+    def __post_init__(self) -> None:
+        if self.block_rows < 1 or self.block_cols <= self.block_rows:
+            raise ConfigError("need block_cols > block_rows >= 1")
+        if self.circulant_size < 4:
+            raise ConfigError("circulant_size must be >= 4")
+
+    @property
+    def n(self) -> int:
+        """Codeword length in bits."""
+        return self.block_cols * self.circulant_size
+
+    @property
+    def m(self) -> int:
+        """Number of parity checks."""
+        return self.block_rows * self.circulant_size
+
+    @property
+    def k(self) -> int:
+        """Number of information bits."""
+        return self.n - self.m
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    @classmethod
+    def paper_scale(cls) -> "LdpcCodeConfig":
+        """The full-size code of the paper: 4x36 blocks of 1024x1024."""
+        return cls(block_rows=4, block_cols=36, circulant_size=1024)
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Parameters of the calibrated RBER model (SecIII-A / Fig. 4).
+
+    ``t_cross_anchors`` maps P/E-cycle counts to the retention time (days) at
+    which the *weakest* pages' RBER first crosses the ECC correction
+    capability — the paper's Fig. 4 reports when a retry "may be invoked"
+    (0K: 17 d, 200: 14 d, 500: 10 d, 1K: 8 d), i.e. the left edge of the
+    crossing distribution; ``anchor_quantile`` says which quantile that edge
+    is.  2K/3K anchors are extrapolated consistently with the retry-rate
+    trends of Fig. 17.  The *median* page crosses later by the lognormal
+    variation factor.
+    """
+
+    t_cross_anchors: Tuple[Tuple[float, float], ...] = (
+        (0.0, 17.0),
+        (200.0, 14.0),
+        (500.0, 10.0),
+        (1000.0, 8.0),
+        (2000.0, 4.0),
+        (3000.0, 3.0),
+    )
+    #: Which quantile of the per-page crossing-time distribution the
+    #: anchors describe (0.05 = the weakest 5% of pages cross at the anchor).
+    anchor_quantile: float = 0.05
+    #: RBER immediately after program at 0 P/E cycles.
+    rber_prog_fresh: float = 0.0016
+    #: Multiplicative growth of program-time RBER per 1K P/E cycles.
+    rber_prog_pe_slope: float = 0.45
+    #: Exponent of retention-driven RBER growth (alpha in DESIGN.md).
+    retention_exponent: float = 0.85
+    #: Sigma of the lognormal per-block variation of the crossing time.
+    block_variation_sigma: float = 0.18
+    #: Sigma of the (smaller) per-page variation within a block.
+    page_variation_sigma: float = 0.05
+    #: Additive RBER per single-page read (read disturb), at 0 P/E.
+    read_disturb_per_read: float = 2.0e-9
+    #: Read-disturb growth factor per 1K P/E cycles.
+    read_disturb_pe_slope: float = 0.8
+    #: Refresh period assumed by the paper (blocks re-written monthly).
+    refresh_days: float = 30.0
+
+    def __post_init__(self) -> None:
+        pes = [pe for pe, _ in self.t_cross_anchors]
+        days = [d for _, d in self.t_cross_anchors]
+        if sorted(pes) != pes or len(set(pes)) != len(pes):
+            raise ConfigError("t_cross_anchors P/E values must be strictly increasing")
+        if any(d <= 0 for d in days):
+            raise ConfigError("crossing days must be positive")
+        if not 0 < self.anchor_quantile < 0.5:
+            raise ConfigError("anchor_quantile must be in (0, 0.5)")
+        if not 0 < self.rber_prog_fresh < 0.0085:
+            raise ConfigError("rber_prog_fresh must be below the ECC capability")
+
+
+@dataclass(frozen=True)
+class SSDConfig:
+    """Top-level SSD configuration bundle (Table I defaults)."""
+
+    geometry: NandGeometry = field(default_factory=NandGeometry)
+    timings: NandTimings = field(default_factory=NandTimings)
+    ecc: EccConfig = field(default_factory=EccConfig)
+    bandwidth: BandwidthConfig = field(default_factory=BandwidthConfig)
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
+    #: Over-provisioning fraction reserved from the raw capacity.
+    over_provisioning: float = 0.07
+    #: Host queue depth used by the closed-loop driver.
+    queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.over_provisioning < 0.5:
+            raise ConfigError("over_provisioning must be in [0, 0.5)")
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
+
+    def scaled(self, **geometry_overrides: int) -> "SSDConfig":
+        """Return a copy with a smaller geometry (for fast tests/benches)."""
+        return replace(self, geometry=replace(self.geometry, **geometry_overrides))
+
+
+def small_test_config() -> SSDConfig:
+    """A scaled-down SSD used throughout the test suite: fewer channels and
+    far fewer blocks than Table I, but the same dies/channel and planes/die —
+    preserving the paper's plane-to-channel bandwidth ratio (per-channel
+    sense capacity ~5.3x the channel link), which is what makes in-die
+    retries cheap for RiF."""
+    return SSDConfig().scaled(
+        channels=2, dies_per_channel=4, planes_per_die=4,
+        blocks_per_plane=64, pages_per_block=64,
+    )

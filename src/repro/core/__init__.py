@@ -1,0 +1,54 @@
+"""The paper's contribution: the RiF scheme and its ODEAR engine.
+
+* :mod:`.rp` — the read-retry predictor: syndrome-weight comparator with the
+  paper's two approximations (chunk-based prediction, syndrome pruning) and
+  the exact reference variant.
+* :mod:`.rvs` — the read-voltage selector built on the in-chip Swift-Read
+  heuristic.
+* :mod:`.odear` — the on-die engine combining RP and RVS (Fig. 9 flow), plus
+  functional read paths for the baselines so end-to-end experiments can
+  count senses/transfers/decodes per scheme.
+* :mod:`.accuracy` — Monte-Carlo and analytic RP accuracy (Figs. 11/14) and
+  the calibrated accuracy model the SSD simulator draws verdicts from.
+* :mod:`.hardware` — the RP datapath cost model (tPRED, area, power,
+  energy; SecV-B and SecVI-C).
+"""
+
+from .rp import ReadRetryPredictor, RpPrediction
+from .rvs import ReadVoltageSelector
+from .odear import (
+    CodewordPipeline,
+    ConventionalReadPath,
+    OdearEngine,
+    OdearReadResult,
+    ReadPathStats,
+    RifReadPath,
+    SwiftReadPath,
+)
+from .accuracy import RpAccuracyModel, RpAccuracyPoint, evaluate_rp_accuracy
+from .datapath import DatapathTrace, RpDatapath
+from .hardware import RpHardwareModel, RpHardwareReport
+from .sentinel import SentinelCodec, SentinelEstimator, SentinelReadPath
+
+__all__ = [
+    "ReadRetryPredictor",
+    "RpPrediction",
+    "ReadVoltageSelector",
+    "CodewordPipeline",
+    "OdearEngine",
+    "OdearReadResult",
+    "ConventionalReadPath",
+    "SwiftReadPath",
+    "RifReadPath",
+    "ReadPathStats",
+    "RpAccuracyModel",
+    "RpAccuracyPoint",
+    "evaluate_rp_accuracy",
+    "RpHardwareModel",
+    "RpHardwareReport",
+    "RpDatapath",
+    "DatapathTrace",
+    "SentinelCodec",
+    "SentinelEstimator",
+    "SentinelReadPath",
+]

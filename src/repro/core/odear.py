@@ -1,0 +1,245 @@
+"""ODEAR — the On-Die EArly-Retry engine, and functional read paths.
+
+:class:`OdearEngine` implements the Fig.-9 flow on a behavioural
+:class:`~repro.nand.chip.FlashDie`:
+
+1. a read command senses the page into the on-die page buffer;
+2. RP evaluates the (rearranged, pruned) syndrome weight of one chunk;
+3. if the page is predicted correctable, the ready flag is raised and the
+   page is transferred off-chip;
+4. otherwise RVS issues an internal Swift-Read and only the re-read page is
+   transferred — the failed sense never crosses the channel, and the re-read
+   page intentionally bypasses RP (SecIV-C).
+
+For end-to-end comparisons, :class:`ConventionalReadPath` (vendor retry
+table, the classic reactive loop) and :class:`SwiftReadPath` (reactive
+Swift-Read, the SWR baseline) implement the same controller-visible
+interface and count the quantities the paper's analysis turns on: senses,
+off-chip transfers, and decode attempts.
+
+:class:`CodewordPipeline` is the controller-side data path shared by all
+three: randomize -> LDPC-encode -> rearrange layout -> program, and the
+inverse on reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import CodecError
+from ..ldpc.decoder import DecodeResult, MinSumDecoder
+from ..ldpc.encoder import SystematicEncoder
+from ..ldpc.qc_matrix import QcLdpcCode
+from ..ldpc.syndrome import rearrange_codeword, restore_codeword
+from ..nand.chip import FlashDie, ReadResult
+from ..nand.randomizer import Randomizer
+from .rp import ReadRetryPredictor, RpPrediction
+from .rvs import ReadVoltageSelector
+
+
+@dataclass
+class ReadPathStats:
+    """Channel-visible cost counters of a read path."""
+
+    senses: int = 0
+    transfers: int = 0            # pages moved off-chip over the channel
+    decode_attempts: int = 0
+    decode_iterations: int = 0
+    failed_transfers: int = 0     # transfers that ended in a decode failure
+    rp_retries: int = 0           # in-die retries triggered by RP
+
+    def merge(self, other: "ReadPathStats") -> None:
+        """Accumulate another read's counters into this one."""
+        self.senses += other.senses
+        self.transfers += other.transfers
+        self.decode_attempts += other.decode_attempts
+        self.decode_iterations += other.decode_iterations
+        self.failed_transfers += other.failed_transfers
+        self.rp_retries += other.rp_retries
+
+
+@dataclass(frozen=True)
+class OdearReadResult:
+    """Outcome of a full read through a read path."""
+
+    message: Optional[np.ndarray]   # recovered message bits, None on failure
+    success: bool
+    stats: ReadPathStats
+    prediction: Optional[RpPrediction] = None
+    last_decode: Optional[DecodeResult] = None
+
+
+class CodewordPipeline:
+    """Controller-side data path: what happens to data between the host and
+    the flash cells.
+
+    Write direction: scramble (randomization) -> LDPC encode -> rearrange
+    segments for on-die RP (SecV-B) -> program.
+    Read direction: restore segment layout -> LDPC decode -> descramble.
+    """
+
+    def __init__(self, code: QcLdpcCode, decoder: MinSumDecoder = None,
+                 randomizer: Randomizer = None, rearrange: bool = True):
+        self.code = code
+        self.encoder = SystematicEncoder(code)
+        self.decoder = decoder or MinSumDecoder(code)
+        self.randomizer = randomizer or Randomizer()
+        self.rearrange = rearrange
+
+    @property
+    def message_bits(self) -> int:
+        """Host payload bits per flash page in this pipeline."""
+        return self.encoder.k_effective
+
+    def prepare(self, message: np.ndarray, page_key: int) -> np.ndarray:
+        """Message bits -> bits to program into the die."""
+        message = np.asarray(message, dtype=np.uint8)
+        if message.shape != (self.message_bits,):
+            raise CodecError(f"message must be {self.message_bits} bits")
+        scrambled = self.randomizer.scramble(message, page_key)
+        codeword = self.encoder.encode(scrambled)
+        if self.rearrange:
+            codeword = rearrange_codeword(self.code, codeword)
+        return codeword
+
+    def recover(self, sensed: np.ndarray, page_key: int
+                ) -> Tuple[Optional[np.ndarray], DecodeResult]:
+        """Bits transferred from the die -> (message or None, decode result)."""
+        word = np.asarray(sensed, dtype=np.uint8)
+        if self.rearrange:
+            word = restore_codeword(self.code, word)
+        result = self.decoder.decode(word)
+        if not result.success:
+            return None, result
+        scrambled = self.encoder.extract_message(result.bits)
+        return self.randomizer.descramble(scrambled, page_key), result
+
+
+class OdearEngine:
+    """The on-die early-retry engine of a RiF-enabled flash die."""
+
+    def __init__(self, rp: ReadRetryPredictor, rvs: ReadVoltageSelector = None):
+        self.rp = rp
+        self.rvs = rvs or ReadVoltageSelector()
+
+    def read(self, die: FlashDie, plane: int, block: int, page: int
+             ) -> Tuple[ReadResult, RpPrediction, ReadPathStats]:
+        """Fig.-9 flow: sense, predict, optionally in-die retry.
+
+        Returns the sense whose data will be transferred off-chip, the RP
+        verdict on the *first* sense, and cost counters (no transfer/decode
+        accounted here — the caller owns the channel)."""
+        stats = ReadPathStats()
+        first = die.read(plane, block, page)
+        stats.senses += 1
+        # RP sees the raw page-buffer content: the rearranged codeword.
+        prediction = self.rp.predict(die.page_buffer(plane), rearranged=True)
+        if not prediction.needs_retry:
+            return first, prediction, stats
+        stats.rp_retries += 1
+        reread = self.rvs.reread(die, plane, block, page)
+        stats.senses += reread.senses
+        return reread, prediction, stats
+
+
+class RifReadPath:
+    """Complete RiF read path: ODEAR on die + pipeline recovery off-chip."""
+
+    def __init__(self, pipeline: CodewordPipeline, engine: OdearEngine):
+        if not pipeline.rearrange:
+            raise CodecError("RiF requires the rearranged codeword layout")
+        self.pipeline = pipeline
+        self.engine = engine
+
+    def read(self, die: FlashDie, plane: int, block: int, page: int,
+             page_key: int) -> OdearReadResult:
+        result, prediction, stats = self.engine.read(die, plane, block, page)
+        stats.transfers += 1
+        message, decode = self.pipeline.recover(result.bits, page_key)
+        stats.decode_attempts += 1
+        stats.decode_iterations += decode.iterations
+        if not decode.success:
+            stats.failed_transfers += 1
+            # fall back to a controller-driven Swift-Read (mispredicted-
+            # correctable case; SecIV-B notes these are rare)
+            retry = die.swift_read(plane, block, page)
+            stats.senses += retry.senses
+            stats.transfers += 1
+            message, decode = self.pipeline.recover(retry.bits, page_key)
+            stats.decode_attempts += 1
+            stats.decode_iterations += decode.iterations
+            if not decode.success:
+                stats.failed_transfers += 1
+        return OdearReadResult(
+            message=message,
+            success=decode.success,
+            stats=stats,
+            prediction=prediction,
+            last_decode=decode,
+        )
+
+
+class ConventionalReadPath:
+    """The classic reactive read-retry loop (SecII-B2): sense, transfer,
+    decode; on failure walk the vendor retry table until the page decodes or
+    the table is exhausted."""
+
+    def __init__(self, pipeline: CodewordPipeline, max_retries: int = None):
+        self.pipeline = pipeline
+        self.max_retries = max_retries
+
+    def read(self, die: FlashDie, plane: int, block: int, page: int,
+             page_key: int) -> OdearReadResult:
+        stats = ReadPathStats()
+        limit = self.max_retries if self.max_retries is not None else len(die.retry_table)
+        message, decode = None, None
+        for level in range(0, limit + 1):
+            sense = (die.read(plane, block, page) if level == 0
+                     else die.read_retry(plane, block, page, level))
+            stats.senses += 1
+            stats.transfers += 1
+            message, decode = self.pipeline.recover(sense.bits, page_key)
+            stats.decode_attempts += 1
+            stats.decode_iterations += decode.iterations
+            if decode.success:
+                break
+            stats.failed_transfers += 1
+        return OdearReadResult(message=message, success=decode.success,
+                               stats=stats, last_decode=decode)
+
+
+class SwiftReadPath:
+    """The reactive Swift-Read baseline (SWR): a normal first read; on
+    decode failure a single Swift-Read command retries with near-optimal
+    VREF inside the chip."""
+
+    def __init__(self, pipeline: CodewordPipeline, max_swift_rounds: int = 2):
+        self.pipeline = pipeline
+        self.max_swift_rounds = max_swift_rounds
+
+    def read(self, die: FlashDie, plane: int, block: int, page: int,
+             page_key: int) -> OdearReadResult:
+        stats = ReadPathStats()
+        first = die.read(plane, block, page)
+        stats.senses += 1
+        stats.transfers += 1
+        message, decode = self.pipeline.recover(first.bits, page_key)
+        stats.decode_attempts += 1
+        stats.decode_iterations += decode.iterations
+        rounds = 0
+        while not decode.success and rounds < self.max_swift_rounds:
+            stats.failed_transfers += 1
+            retry = die.swift_read(plane, block, page)
+            stats.senses += retry.senses
+            stats.transfers += 1
+            message, decode = self.pipeline.recover(retry.bits, page_key)
+            stats.decode_attempts += 1
+            stats.decode_iterations += decode.iterations
+            rounds += 1
+        if not decode.success:
+            stats.failed_transfers += 1
+        return OdearReadResult(message=message, success=decode.success,
+                               stats=stats, last_decode=decode)

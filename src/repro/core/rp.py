@@ -1,0 +1,145 @@
+"""RP — the read-retry predictor module of the ODEAR engine (SecIV-B, SecV).
+
+RP answers one question right after a page is sensed, while the data is
+still in the on-die page buffer: *would the off-chip LDPC engine fail to
+decode this page?*  It exploits the monotone RBER <-> syndrome-weight
+relationship: when the (approximate) syndrome weight exceeds the
+correctability threshold rho_s, the page is predicted uncorrectable and an
+in-die retry is started instead of a doomed transfer.
+
+Two hardware-motivated approximations (SecV-A) are individually switchable:
+
+* **chunk-based prediction** — only one codeword-sized chunk of the page is
+  examined (intra-page RBER similarity, Fig. 12 justifies this);
+* **syndrome pruning** — only the first ``t`` of ``r*t`` syndromes are
+  computed (the others merely permute the same bits, Fig. 13).
+
+The predictor evaluates the pruned weight through the rearranged-layout
+fast path when told the buffer holds rearranged codewords — the same
+dataflow as the hardware of Fig. 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CodecError, ConfigError
+from ..ldpc.analytic import SyndromeStatistics
+from ..ldpc.qc_matrix import QcLdpcCode
+from ..ldpc.syndrome import (
+    pruned_syndrome_weight,
+    pruned_syndrome_weight_rearranged,
+    syndrome_weight,
+)
+
+
+@dataclass(frozen=True)
+class RpPrediction:
+    """Outcome of one RP evaluation."""
+
+    needs_retry: bool
+    syndrome_weight: int
+    threshold: int
+    pruned: bool
+    chunk_bits: int
+
+
+class ReadRetryPredictor:
+    """The RP comparator.
+
+    Parameters
+    ----------
+    code:
+        The QC-LDPC code protecting each chunk.
+    capability_rber:
+        RBER correction capability of the off-chip engine; rho_s is set to
+        the expected syndrome weight at this error rate (the paper reads
+    rho_s = 3830 off the Fig.-10 correlation at RBER 0.0085).
+    use_pruning:
+        Compute only the first ``t`` syndromes (default: the paper's
+        hardware configuration).
+    threshold:
+        Optional explicit rho_s override.
+    """
+
+    def __init__(
+        self,
+        code: QcLdpcCode,
+        capability_rber: float = 0.0085,
+        use_pruning: bool = True,
+        threshold: Optional[int] = None,
+    ):
+        if not 0 < capability_rber < 0.5:
+            raise ConfigError("capability_rber must be in (0, 0.5)")
+        self.code = code
+        self.capability_rber = capability_rber
+        self.use_pruning = use_pruning
+        stats = (
+            SyndromeStatistics.pruned_for(code)
+            if use_pruning
+            else SyndromeStatistics.full_for(code)
+        )
+        self.statistics = stats
+        self.threshold = (
+            int(threshold) if threshold is not None
+            else stats.threshold_for_rber(capability_rber)
+        )
+        if not 0 <= self.threshold <= stats.n_checks:
+            raise ConfigError("threshold outside the valid syndrome-weight range")
+
+    # --- prediction ------------------------------------------------------------------
+
+    def compute_weight(self, chunk_bits: np.ndarray, rearranged: bool = False) -> int:
+        """Syndrome weight of one codeword-sized chunk.
+
+        ``rearranged=True`` means the buffer holds the rearranged layout of
+        SecV-B (only valid together with pruning — the rearrangement is
+        defined by block row 0's shifts)."""
+        chunk_bits = np.asarray(chunk_bits, dtype=np.uint8)
+        if chunk_bits.shape != (self.code.n,):
+            raise CodecError(
+                f"RP chunk must be one codeword ({self.code.n} bits), "
+                f"got {chunk_bits.shape}"
+            )
+        if rearranged:
+            if not self.use_pruning:
+                raise CodecError(
+                    "rearranged fast path computes only pruned syndromes"
+                )
+            return pruned_syndrome_weight_rearranged(self.code, chunk_bits)
+        if self.use_pruning:
+            return pruned_syndrome_weight(self.code, chunk_bits)
+        return syndrome_weight(self.code, chunk_bits)
+
+    def predict_from_weight(self, weight: int) -> RpPrediction:
+        """Comparator stage only: decide from a precomputed weight."""
+        return RpPrediction(
+            needs_retry=weight > self.threshold,
+            syndrome_weight=int(weight),
+            threshold=self.threshold,
+            pruned=self.use_pruning,
+            chunk_bits=self.code.n,
+        )
+
+    def predict(self, page_bits: np.ndarray, rearranged: bool = False) -> RpPrediction:
+        """Full RP evaluation on a sensed page.
+
+        ``page_bits`` may be a whole page (a multiple of the codeword
+        length); chunk-based prediction examines only the first chunk, as
+        the hardware does."""
+        page_bits = np.asarray(page_bits, dtype=np.uint8)
+        if page_bits.size % self.code.n:
+            raise CodecError(
+                f"page must be a whole number of {self.code.n}-bit codewords"
+            )
+        chunk = page_bits[: self.code.n]
+        weight = self.compute_weight(chunk, rearranged=rearranged)
+        return self.predict_from_weight(weight)
+
+    def estimate_rber(self, weight: int) -> float:
+        """RBER estimate from a syndrome weight via the analytic 1:1
+        relationship (SecIV-B)."""
+        return self.statistics.invert_weight(float(weight))

@@ -1,0 +1,51 @@
+"""RVS — the read-voltage selector module of the ODEAR engine (SecIV-C).
+
+When RP predicts a sensed page uncorrectable, RVS chooses better read
+voltages and re-reads the page *inside the die*, without controller
+assistance.  The paper implements RVS by internally issuing a Swift-Read
+command [32]: the flash die performs one sense at the manufacturer's
+representative VREF, counts ones, maps the deviation from the
+randomization-guaranteed expectation to a voltage correction, and re-senses
+at the corrected VREF — all in one command.
+
+This class is a thin policy wrapper around
+:meth:`repro.nand.chip.FlashDie.swift_read`, so the voltage mathematics
+stays with the VTH model where it belongs; RVS owns the *decision* of when
+to invoke it and reports selector-level statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..nand.chip import FlashDie, ReadResult
+
+
+@dataclass
+class RvsStats:
+    """Counters of RVS activity."""
+
+    invocations: int = 0
+    total_senses: int = 0
+    last_offsets: Dict[int, float] = field(default_factory=dict)
+
+
+class ReadVoltageSelector:
+    """Selects near-optimal VREF values and drives the in-die re-read."""
+
+    def __init__(self):
+        self.stats = RvsStats()
+
+    def reread(self, die: FlashDie, plane: int, block: int, page: int) -> ReadResult:
+        """Run the internal Swift-Read sequence on a page RP flagged.
+
+        Returns the second (voltage-corrected) sense result; per the paper
+        the re-read page does **not** pass through RP again but is sent
+        straight to the off-chip ECC engine.
+        """
+        result = die.swift_read(plane, block, page)
+        self.stats.invocations += 1
+        self.stats.total_senses += result.senses
+        self.stats.last_offsets = dict(result.vref_offsets)
+        return result

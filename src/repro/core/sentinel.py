@@ -1,0 +1,191 @@
+"""Functional Sentinel baseline ([23]): spare-cell error indicators.
+
+Sentinel stores a *known* bit pattern in spare cells of every page.  After
+a decode failure, the controller re-reads the page, inspects the errors of
+those known cells, and — because it knows both the written and the read
+values — infers which way and how far the VTH distributions drifted,
+predicting near-optimal read voltages in one shot (average NRR ~ 1.2).
+
+This module implements the mechanism at the data level, against the same
+VTH physics the rest of the library uses:
+
+* :class:`SentinelCodec` appends/strips the known pattern around a
+  codeword (the spare area of the page);
+* :class:`SentinelEstimator` converts the *error rate of the sentinel
+  cells* into a leakage-scale estimate via the same fresh-shape forward
+  model Swift-Read uses — but measured from in-page ground truth instead
+  of a dedicated extra sense at a representative voltage;
+* :class:`SentinelReadPath` is the controller-side retry loop: read,
+  decode, on failure estimate from the sentinels of the *failed* sensed
+  page and re-read at the corrected voltages.
+
+The paper's complication is preserved: the sentinel cells are read with
+the page's own VREF set, and for some page types the first failed read
+does not exercise the boundaries the estimator needs, costing an extra
+off-chip read — which is exactly why RiF beats it (SecIII-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import CodecError, ConfigError
+from ..nand.chip import FlashDie
+from ..nand.vth import TLC_GRAY_CODE, PageType, TlcVthModel, _phi
+from .odear import CodewordPipeline, OdearReadResult, ReadPathStats
+
+
+class SentinelCodec:
+    """Places the known sentinel pattern in the page's spare area."""
+
+    def __init__(self, n_sentinel_bits: int = 256, seed: int = 0x5E17):
+        if n_sentinel_bits < 8:
+            raise ConfigError("need at least 8 sentinel bits")
+        self.n_sentinel_bits = n_sentinel_bits
+        rng = np.random.default_rng(seed)
+        #: the predefined pattern (known to the controller, balanced 0/1)
+        self.pattern = rng.integers(0, 2, n_sentinel_bits).astype(np.uint8)
+
+    def attach(self, codeword: np.ndarray) -> np.ndarray:
+        """Codeword + sentinel spare bits -> full page image."""
+        codeword = np.asarray(codeword, dtype=np.uint8)
+        return np.concatenate([codeword, self.pattern])
+
+    def split(self, page_bits: np.ndarray, codeword_bits: int):
+        """Full sensed page -> (codeword part, sensed sentinel part)."""
+        page_bits = np.asarray(page_bits, dtype=np.uint8)
+        expected = codeword_bits + self.n_sentinel_bits
+        if page_bits.shape != (expected,):
+            raise CodecError(
+                f"page must be {expected} bits (codeword + sentinels)"
+            )
+        return page_bits[:codeword_bits], page_bits[codeword_bits:]
+
+    def sentinel_error_rate(self, sensed_sentinels: np.ndarray) -> float:
+        """Fraction of sentinel cells read back wrong."""
+        sensed = np.asarray(sensed_sentinels, dtype=np.uint8)
+        if sensed.shape != self.pattern.shape:
+            raise CodecError("sentinel shape mismatch")
+        return float(np.mean(sensed != self.pattern))
+
+
+class SentinelEstimator:
+    """Error rate of known cells -> near-optimal VREF offsets.
+
+    At the default voltages, the sentinel error rate equals the page RBER
+    (the sentinels are ordinary cells).  Inverting the fresh-shape forward
+    model RBER(leakage_scale) — monotone in the drift — recovers the
+    leakage scale, from which per-boundary corrections follow exactly as in
+    Swift-Read."""
+
+    def __init__(self, vth: TlcVthModel = None):
+        self.vth = vth or TlcVthModel()
+
+    def _predicted_rber(self, scale: float, page_type: PageType) -> float:
+        """Page RBER under a pure shift of ``scale`` (fresh sigmas)."""
+        c = self.vth.config
+        fresh = self.vth.state_params(0.0, 0.0)
+        top = c.programmed_means[-1]
+        boundaries = sorted(page_type.boundaries)
+        boundaries_v = [self.vth.default_vrefs[b - 1] for b in boundaries]
+        bit_idx = page_type.bit_index
+        err = 0.0
+        for state in range(self.vth.N_STATES):
+            p = fresh[state]
+            if state == 0:
+                mean = p.mean + 0.15 * scale
+            else:
+                elevation = (p.mean - c.erased_mean) / (top - c.erased_mean)
+                mean = p.mean - scale * elevation
+            true_bit = TLC_GRAY_CODE[state][bit_idx]
+            prev = 0.0
+            for j, v in enumerate([*boundaries_v, None]):
+                if v is None:
+                    prob = 1.0 - prev
+                else:
+                    cdf = _phi((v - mean) / p.sigma)
+                    prob, prev = max(cdf - prev, 0.0), cdf
+                read_bit = self.vth._bin_bit(boundaries, j, bit_idx)
+                if read_bit != true_bit:
+                    err += prob
+        return err / self.vth.N_STATES
+
+    def estimate_offsets(
+        self, sentinel_error_rate: float, page_type: PageType
+    ) -> Dict[int, float]:
+        """Invert the forward model and emit per-boundary corrections."""
+        if not 0 <= sentinel_error_rate <= 1:
+            raise ConfigError("error rate must be in [0, 1]")
+        lo, hi = 0.0, 3.0
+        if sentinel_error_rate <= self._predicted_rber(0.0, page_type):
+            scale = 0.0
+        else:
+            for _ in range(60):
+                mid = 0.5 * (lo + hi)
+                if self._predicted_rber(mid, page_type) < sentinel_error_rate:
+                    lo = mid
+                else:
+                    hi = mid
+            scale = 0.5 * (lo + hi)
+        return {
+            b: -scale * self.vth.boundary_elevation(b)
+            for b in page_type.boundaries
+        }
+
+
+class SentinelReadPath:
+    """Controller-side Sentinel retry loop at the data level.
+
+    The die's ``page_bits`` must equal ``code.n + codec.n_sentinel_bits``;
+    :meth:`prepare_page` builds the image to program."""
+
+    def __init__(self, pipeline: CodewordPipeline,
+                 codec: SentinelCodec = None,
+                 estimator: SentinelEstimator = None,
+                 max_retries: int = 4):
+        if max_retries < 1:
+            raise ConfigError("max_retries must be >= 1")
+        self.pipeline = pipeline
+        self.codec = codec or SentinelCodec()
+        self.estimator = estimator or SentinelEstimator()
+        self.max_retries = max_retries
+
+    @property
+    def page_bits(self) -> int:
+        return self.pipeline.code.n + self.codec.n_sentinel_bits
+
+    def prepare_page(self, message: np.ndarray, page_key: int) -> np.ndarray:
+        """Message -> page image (rearranged codeword + sentinel pattern)."""
+        return self.codec.attach(self.pipeline.prepare(message, page_key))
+
+    def read(self, die: FlashDie, plane: int, block: int, page: int,
+             page_key: int) -> OdearReadResult:
+        stats = ReadPathStats()
+        code_n = self.pipeline.code.n
+
+        def attempt(vref_offsets: Optional[Dict[int, float]]):
+            sense = die.read(plane, block, page, vref_offsets=vref_offsets)
+            stats.senses += 1
+            stats.transfers += 1
+            codeword, sentinels = self.codec.split(sense.bits, code_n)
+            message, decode = self.pipeline.recover(codeword, page_key)
+            stats.decode_attempts += 1
+            stats.decode_iterations += decode.iterations
+            if not decode.success:
+                stats.failed_transfers += 1
+            return message, decode, sentinels
+
+        message, decode, sentinels = attempt(None)
+        retries = 0
+        while not decode.success and retries < self.max_retries:
+            # predict near-optimal voltages from the failed page's sentinels
+            rate = self.codec.sentinel_error_rate(sentinels)
+            offsets = self.estimator.estimate_offsets(
+                rate, die.page_type(page)
+            )
+            message, decode, sentinels = attempt(offsets)
+            retries += 1
+        return OdearReadResult(message=message, success=decode.success,
+                               stats=stats, last_decode=decode)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class GeometryError(ReproError):
+    """A flash address is outside the configured device geometry."""
+
+
+class CodecError(ReproError):
+    """An LDPC encode/decode precondition was violated (not a decode
+    *failure*, which is a normal outcome reported in the decode result)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or violates device bounds."""
+
+
+class CapacityError(ReproError):
+    """The FTL ran out of physical space for the requested logical
+    footprint (device over-provisioning exhausted)."""

@@ -1,0 +1,99 @@
+"""Shared helpers for the SSD-level experiments (Figs. 6, 17, 18, 19)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..config import SSDConfig, small_test_config
+from ..errors import ConfigError
+from ..ssd import SimulationResult, SSDSimulator
+from ..workloads import generate
+
+#: Wear points of the evaluation (SecVI-A).
+PE_POINTS: Tuple[float, ...] = (0.0, 1000.0, 2000.0)
+
+#: The configurations Fig. 17 compares (SSDone additionally for Fig. 6).
+FIG17_POLICIES: Tuple[str, ...] = (
+    "SENC", "SWR", "SWR+", "RPSSD", "RiFSSD", "SSDzero",
+)
+
+
+@dataclass(frozen=True)
+class SsdScale:
+    """Workload/geometry sizing for one experiment scale."""
+
+    config: SSDConfig
+    n_requests: int
+    user_pages: int
+    queue_depth: int
+
+
+def ssd_scale(scale: str) -> SsdScale:
+    """Resolve an SSD-experiment scale name.
+
+    ``small`` finishes each (workload, policy, P/E) run in well under a
+    second; ``full`` uses a larger device slice and more requests for
+    smoother numbers.  Both keep the Table-I plane:channel bandwidth ratio.
+    """
+    if scale == "small":
+        return SsdScale(
+            config=small_test_config(),
+            n_requests=600,
+            user_pages=8_000,
+            queue_depth=64,
+        )
+    if scale == "full":
+        config = SSDConfig().scaled(
+            channels=8, dies_per_channel=4, planes_per_die=4,
+            blocks_per_plane=96, pages_per_block=128,
+        )
+        return SsdScale(
+            config=config,
+            n_requests=4_000,
+            user_pages=200_000,
+            queue_depth=128,
+        )
+    raise ConfigError(f"unknown scale {scale!r} (use 'small' or 'full')")
+
+
+def run_grid(
+    workloads: Sequence[str],
+    policies: Sequence[str],
+    pe_points: Sequence[float] = PE_POINTS,
+    scale: str = "small",
+    seed: int = 7,
+) -> Dict[Tuple[str, float, str], SimulationResult]:
+    """Run every (workload, P/E, policy) combination once.
+
+    Traces are generated once per workload and replayed identically against
+    every policy, and every simulator uses the same seed, so comparisons
+    are paired."""
+    sizing = ssd_scale(scale)
+    results: Dict[Tuple[str, float, str], SimulationResult] = {}
+    for workload in workloads:
+        trace = generate(
+            workload,
+            n_requests=sizing.n_requests,
+            user_pages=sizing.user_pages,
+            seed=seed,
+        )
+        for pe in pe_points:
+            for policy in policies:
+                ssd = SSDSimulator(
+                    sizing.config, policy=policy, pe_cycles=pe, seed=seed
+                )
+                results[(workload, pe, policy)] = ssd.run_trace(
+                    trace, queue_depth=sizing.queue_depth
+                )
+    return results
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the aggregation of Fig. 17)."""
+    if not values:
+        raise ConfigError("geomean of nothing")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,69 @@
+"""Fig. 11 — RP prediction accuracy *without* approximations.
+
+The full-syndrome predictor validated against the real LDPC decoder over an
+RBER grid; the paper reports 99.1% average accuracy for RBER values above
+the correction capability, dipping to ~50% exactly at the capability.
+"""
+
+from __future__ import annotations
+
+from ..config import LdpcCodeConfig
+from ..errors import ConfigError
+from ..ldpc import QcLdpcCode, fit_capability_curve, measure_capability
+from ..core.accuracy import evaluate_rp_accuracy, mean_accuracy_above_capability
+from .registry import ExperimentResult, register
+
+_SCALES = {"small": (67, 100), "full": (128, 300)}
+
+RBER_GRID = [0.001 * k for k in range(3, 17)]
+
+
+def _measured_capability(code: QcLdpcCode, seed: int, trials: int) -> float:
+    """Our code's own capability — the threshold RP must discriminate
+    around, analogous to the paper's 0.0085.  We use the failure-curve
+    midpoint: the paper's RP accuracy drops to 50.3% exactly at its quoted
+    capability, which identifies that capability with the 50%-failure
+    point of its (cliff-like) waterfall."""
+    grid = [0.004, 0.006, 0.008, 0.010, 0.012]
+    points = measure_capability(code, grid, trials=trials, seed=seed)
+    return fit_capability_curve(points).capability(0.5)
+
+
+@register("fig11", "RP accuracy vs RBER (no approximations)")
+def run(scale: str = "small", seed: int = 99) -> ExperimentResult:
+    if scale not in _SCALES:
+        raise ConfigError(f"unknown scale {scale!r}")
+    t, n_pages = _SCALES[scale]
+    code = QcLdpcCode(LdpcCodeConfig(circulant_size=t))
+    capability = _measured_capability(code, seed, max(40, n_pages // 2))
+    points = evaluate_rp_accuracy(
+        code,
+        RBER_GRID,
+        n_pages=n_pages,
+        use_pruning=False,
+        chunks_per_page=1,
+        capability_rber=capability,
+        seed=seed,
+    )
+    rows = [
+        {
+            "rber": p.rber,
+            "accuracy": p.accuracy,
+            "predicted_retry_rate": p.predicted_retry_rate,
+            "actual_failure_rate": p.actual_failure_rate,
+            "false_clean": p.false_clean_rate,
+            "false_retry": p.false_retry_rate,
+        }
+        for p in points
+    ]
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Exact RP vs LDPC decoder (paper: 99.1% above capability)",
+        rows=rows,
+        headline={
+            "mean_accuracy_above_capability":
+                mean_accuracy_above_capability(points, capability),
+            "capability_rber": capability,
+        },
+        notes=f"code t={t}, {n_pages} pages/point, full syndrome, 1 chunk/page",
+    )

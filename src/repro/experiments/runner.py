@@ -1,0 +1,61 @@
+"""Command-line runner for the experiment registry."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .registry import EXPERIMENTS, get_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. fig17 table2); "
+                             "'all' runs everything")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--scale", default="small", choices=("small", "full"),
+                        help="experiment scale (default: small)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also export each result as DIR/<id>.csv")
+    parser.add_argument("--report", metavar="FILE", default=None,
+                        help="write a consolidated markdown report to FILE")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for exp_id in sorted(EXPERIMENTS):
+            print(f"{exp_id:10s} {EXPERIMENTS[exp_id].title}")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    collected = []
+    for exp_id in ids:
+        experiment = get_experiment(exp_id)
+        start = time.time()
+        result = experiment.run(scale=args.scale, seed=args.seed)
+        collected.append(result)
+        print(result.format_table())
+        print(f"-- {exp_id} finished in {time.time() - start:.1f}s\n")
+        if args.csv:
+            from .export import result_to_csv
+
+            path = result_to_csv(result, f"{args.csv}/{exp_id}.csv")
+            print(f"-- wrote {path}\n")
+    if args.report and collected:
+        from pathlib import Path
+
+        from .report import render_markdown
+
+        Path(args.report).write_text(render_markdown(collected))
+        print(f"-- report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Table I — the evaluated SSD configuration, with consistency checks.
+
+Not a measurement: this experiment instantiates the full Table-I
+configuration and verifies the invariants the paper's architecture relies
+on (aggregate channel bandwidth exceeds the host link; per-channel sense
+capacity exceeds the channel link; the 2-TiB capacity arithmetic)."""
+
+from __future__ import annotations
+
+from ..config import SSDConfig
+from ..units import TIB
+from .registry import ExperimentResult, register
+
+
+@register("table1", "Evaluated SSD configuration (Table I)")
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    del scale, seed
+    config = SSDConfig()
+    g = config.geometry
+    t = config.timings
+    bw = config.bandwidth
+
+    capacity_tib = g.capacity_bytes / TIB
+    channel_agg = bw.channel_gb_per_s * g.channels
+    # per-die read bandwidth: planes_per_die pages per tR
+    die_read_gb_s = (g.planes_per_die * g.page_size / t.t_read) * 1e6 / 1e9
+    sense_per_channel = die_read_gb_s * g.dies_per_channel
+
+    rows = [
+        {"parameter": "capacity_TiB", "value": capacity_tib, "paper": 2.0},
+        {"parameter": "channels", "value": g.channels, "paper": 8},
+        {"parameter": "dies/channel", "value": g.dies_per_channel, "paper": 4},
+        {"parameter": "planes/die", "value": g.planes_per_die, "paper": 4},
+        {"parameter": "blocks/plane", "value": g.blocks_per_plane, "paper": 1888},
+        {"parameter": "pages/block", "value": g.pages_per_block, "paper": 576},
+        {"parameter": "tR_us", "value": t.t_read, "paper": 40},
+        {"parameter": "tPROG_us", "value": t.t_prog, "paper": 400},
+        {"parameter": "tBERS_us", "value": t.t_erase, "paper": 3500},
+        {"parameter": "tDMA_us", "value": t.t_dma, "paper": 13},
+        {"parameter": "tPRED_us", "value": t.t_pred, "paper": 2.5},
+        {"parameter": "tECC_min_us", "value": config.ecc.t_ecc_min, "paper": 1},
+        {"parameter": "tECC_max_us", "value": config.ecc.t_ecc_max, "paper": 20},
+        {"parameter": "host_GB_s", "value": bw.host_gb_per_s, "paper": 8.0},
+        {"parameter": "channel_GB_s", "value": bw.channel_gb_per_s, "paper": 1.2},
+        {"parameter": "ecc_capability", "value": config.ecc.correction_capability,
+         "paper": 0.0085},
+        {"parameter": "die_read_GB_s", "value": die_read_gb_s, "paper": 1.6},
+    ]
+    assert channel_agg > bw.host_gb_per_s, "channels must oversubscribe host"
+    assert sense_per_channel > bw.channel_gb_per_s, \
+        "per-channel sense capacity must exceed the channel link"
+    assert abs(capacity_tib - 2.0) < 0.15, "capacity should be ~2 TiB"
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table-I configuration instantiated and validated",
+        rows=rows,
+        headline={
+            "aggregate_channel_GB_s": channel_agg,
+            "per_channel_sense_GB_s": sense_per_channel,
+        },
+    )

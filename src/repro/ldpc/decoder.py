@@ -1,0 +1,199 @@
+"""LDPC decoders with iteration accounting.
+
+Two decoders are provided:
+
+* :class:`MinSumDecoder` — normalized min-sum belief propagation, the
+  algorithm family of commercial flash LDPC engines ([12], [13], [39]).
+  Fully vectorised: the code is regular, so check-side messages reshape to
+  ``(m, c)`` and variable-side messages to ``(n, r)`` dense arrays.
+* :class:`GallagerBDecoder` — a hard-decision bit-flipping decoder, an
+  order of magnitude faster; useful for very large Monte-Carlo sweeps where
+  only the *shape* of the failure curve matters.
+
+Both stop early when the syndrome becomes zero and report the iteration
+count, which drives the tECC latency model (decoding latency grows with
+RBER — Fig. 3(b))."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CodecError
+from .qc_matrix import QcLdpcCode
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of a decode attempt."""
+
+    bits: np.ndarray          # hard-decision output word
+    success: bool             # True iff the syndrome is zero
+    iterations: int           # iterations actually executed (>= 1)
+    initial_syndrome_weight: int
+
+    @property
+    def failed(self) -> bool:
+        return not self.success
+
+
+class MinSumDecoder:
+    """Normalized min-sum decoder over a BSC hard-input channel.
+
+    Parameters
+    ----------
+    code:
+        The QC-LDPC code.
+    max_iterations:
+        Iteration cap; exhausting it is a decoding failure (the paper's
+        engine caps at 20).
+    normalization:
+        Min-sum scaling factor (0.75 is the usual hardware choice).
+    channel_p:
+        Assumed BSC crossover probability, setting the input LLR magnitude.
+    """
+
+    def __init__(
+        self,
+        code: QcLdpcCode,
+        max_iterations: int = 20,
+        normalization: float = 0.75,
+        channel_p: float = 0.005,
+    ):
+        if max_iterations < 1:
+            raise CodecError("max_iterations must be >= 1")
+        if not 0 < channel_p < 0.5:
+            raise CodecError("channel_p must be in (0, 0.5)")
+        self.code = code
+        self.max_iterations = max_iterations
+        self.normalization = normalization
+        self.llr_magnitude = math.log((1.0 - channel_p) / channel_p)
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        """Decode a received hard-decision word."""
+        code = self.code
+        received = np.asarray(received, dtype=np.uint8)
+        if received.shape != (code.n,):
+            raise CodecError(f"expected {code.n}-bit word, got {received.shape}")
+        # channel LLR: positive = bit 0 more likely
+        llr = np.where(received == 0, self.llr_magnitude, -self.llr_magnitude)
+        return self.decode_llr(llr)
+
+    def decode_llr(self, llr: np.ndarray) -> DecodeResult:
+        """Decode from per-bit channel LLRs (positive = bit 0 more likely).
+
+        This is the soft-input entry point used by multi-read soft sensing
+        (:mod:`repro.ldpc.soft`); :meth:`decode` wraps it with the
+        fixed-magnitude hard-input LLRs of a single sense."""
+        code = self.code
+        llr = np.asarray(llr, dtype=float)
+        if llr.shape != (code.n,):
+            raise CodecError(f"expected {code.n} LLRs, got {llr.shape}")
+        received = (llr < 0).astype(np.uint8)
+
+        initial_sw = code.syndrome_weight(received)
+        if initial_sw == 0:
+            return DecodeResult(
+                bits=received.copy(), success=True, iterations=1,
+                initial_syndrome_weight=0,
+            )
+
+        check_vars = code.check_vars          # (m, c)
+        var_edges = code.var_edges            # (n, r) flat indices into (m*c)
+
+        c2v = np.zeros((code.m, code.c))
+        v2c_flat = np.broadcast_to(llr[check_vars].ravel(), (code.m * code.c,)).copy()
+
+        hard = received.copy()
+        iterations = self.max_iterations
+        for it in range(1, self.max_iterations + 1):
+            v2c = v2c_flat.reshape(code.m, code.c)
+            # --- check node update (normalized min-sum) ---
+            signs = np.sign(v2c)
+            signs[signs == 0] = 1.0
+            total_sign = np.prod(signs, axis=1, keepdims=True)
+            mags = np.abs(v2c)
+            order = np.argsort(mags, axis=1)
+            min1_idx = order[:, :1]
+            min1 = np.take_along_axis(mags, min1_idx, axis=1)
+            min2 = np.take_along_axis(mags, order[:, 1:2], axis=1)
+            out_mag = np.where(
+                np.arange(code.c)[None, :] == min1_idx, min2, min1
+            )
+            c2v = self.normalization * total_sign * signs * out_mag
+
+            # --- variable node update ---
+            c2v_flat = c2v.ravel()
+            incoming = c2v_flat[var_edges]            # (n, r)
+            posterior = llr + incoming.sum(axis=1)
+            hard = (posterior < 0).astype(np.uint8)
+            if code.syndrome_weight(hard) == 0:
+                iterations = it
+                break
+            extrinsic = posterior[:, None] - incoming  # (n, r)
+            v2c_flat = np.empty(code.m * code.c)
+            v2c_flat[var_edges.ravel()] = extrinsic.ravel()
+
+        success = code.syndrome_weight(hard) == 0
+        return DecodeResult(
+            bits=hard, success=success, iterations=iterations,
+            initial_syndrome_weight=initial_sw,
+        )
+
+
+class GallagerBDecoder:
+    """Hard-decision Gallager-B bit-flipping decoder.
+
+    Each iteration flips the bits whose number of unsatisfied incident
+    checks exceeds a threshold (majority of the column weight).  Weaker than
+    min-sum but ~10x faster, with the same qualitative waterfall."""
+
+    def __init__(self, code: QcLdpcCode, max_iterations: int = 20,
+                 flip_threshold: int = None):
+        if max_iterations < 1:
+            raise CodecError("max_iterations must be >= 1")
+        self.code = code
+        self.max_iterations = max_iterations
+        # default: strict majority of the column weight
+        self.flip_threshold = (
+            flip_threshold if flip_threshold is not None else code.r // 2 + 1
+        )
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        code = self.code
+        bits = np.asarray(received, dtype=np.uint8).copy()
+        if bits.shape != (code.n,):
+            raise CodecError(f"expected {code.n}-bit word, got {bits.shape}")
+        initial_sw = code.syndrome_weight(bits)
+        if initial_sw == 0:
+            return DecodeResult(bits=bits, success=True, iterations=1,
+                                initial_syndrome_weight=0)
+        check_vars = code.check_vars
+        var_checks = var_checks_of(code)  # (n, r) check index per variable
+        iterations = self.max_iterations
+        for it in range(1, self.max_iterations + 1):
+            synd = np.bitwise_xor.reduce(bits[check_vars], axis=1)  # (m,)
+            if not synd.any():
+                iterations = it
+                break
+            unsat = synd[var_checks].sum(axis=1)  # (n,)
+            flip = unsat >= self.flip_threshold
+            if not flip.any():
+                # stuck: flip the most-unsatisfied bits to keep moving
+                flip = unsat == unsat.max()
+            bits[flip] ^= 1
+        success = code.syndrome_weight(bits) == 0
+        return DecodeResult(bits=bits, success=success, iterations=iterations,
+                            initial_syndrome_weight=initial_sw)
+
+
+def var_checks_of(code: QcLdpcCode) -> np.ndarray:
+    """(n, r) array of check indices incident to each variable (cached on
+    the code instance)."""
+    cached = getattr(code, "_var_checks_cache", None)
+    if cached is None:
+        cached = code.var_edges // code.c
+        code._var_checks_cache = cached
+    return cached

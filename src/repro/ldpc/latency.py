@@ -1,0 +1,47 @@
+"""ECC decoding latency model: tECC as a function of RBER.
+
+Table I specifies tECC in [1, 20] us; Fig. 3(b) shows the iteration count
+rising slowly at low RBER and saturating at the 20-iteration cap right at
+the correction capability.  We model the iteration count as a power law in
+``rber / capability`` clipped at the cap, and map iterations linearly onto
+the latency band — a decode that exhausts the cap (a failure) costs the full
+``t_ecc_max``, which is exactly the long wasted interval that produces
+ECCWAIT in SecIII-B3.
+"""
+
+from __future__ import annotations
+
+from ..config import EccConfig
+from ..errors import ConfigError
+
+
+class EccLatencyModel:
+    """Maps RBER (and decode outcome) to decoder latency in microseconds."""
+
+    def __init__(self, ecc: EccConfig = None, growth_exponent: float = 3.0):
+        if growth_exponent <= 0:
+            raise ConfigError("growth_exponent must be positive")
+        self.ecc = ecc or EccConfig()
+        self.growth_exponent = growth_exponent
+
+    def iterations(self, rber: float) -> float:
+        """Expected decoding iterations at ``rber`` (continuous; Fig. 3b)."""
+        if rber < 0:
+            raise ConfigError("rber must be non-negative")
+        cap = self.ecc.correction_capability
+        max_it = self.ecc.max_iterations
+        ratio = rber / cap
+        value = 1.0 + (max_it - 1.0) * ratio ** self.growth_exponent
+        return min(value, float(max_it))
+
+    def latency_us(self, rber: float, failed: bool = False) -> float:
+        """Decoder occupancy for one page at ``rber``.
+
+        A failed decode always burns the full iteration budget
+        (= ``t_ecc_max``), regardless of how small the model's expected
+        iteration count is."""
+        if failed:
+            return self.ecc.t_ecc_max
+        it = self.iterations(rber)
+        frac = (it - 1.0) / (self.ecc.max_iterations - 1.0)
+        return self.ecc.t_ecc_min + frac * (self.ecc.t_ecc_max - self.ecc.t_ecc_min)

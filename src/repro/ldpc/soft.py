@@ -1,0 +1,108 @@
+"""Soft-decision sensing: combining multiple reads into per-bit LLRs.
+
+The paper's related work ([74], and the soft-sensing literature it builds
+on) recovers pages beyond the hard-decision capability by sensing the same
+wordline several times and feeding the decoder *soft* reliability
+information.  This module provides the standard diversity-combining model:
+
+* each sense of a cell is an independent binary-symmetric observation with
+  crossover probability ``p`` (independent because sensing noise, not the
+  stored charge, flips marginal cells on different reads — which is exactly
+  how :class:`~repro.nand.chip.FlashDie` models repeated reads);
+* the log-likelihood ratio of a bit after ``K`` reads is the sum of per-read
+  LLRs: ``(zeros - ones) * ln((1-p)/p)``;
+* :class:`SoftReadDecoder` turns a stack of sensed words into LLRs and runs
+  the min-sum decoder's soft entry point.
+
+The gain is real and measurable: at error rates where a single read fails
+almost always, 3-5 combined reads restore decodability (tested in
+``tests/test_ldpc_soft.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import CodecError
+from .decoder import DecodeResult, MinSumDecoder
+from .qc_matrix import QcLdpcCode
+
+
+def single_read_llr_magnitude(p: float) -> float:
+    """LLR contribution of one read at crossover probability ``p``."""
+    if not 0 < p < 0.5:
+        raise CodecError("crossover probability must be in (0, 0.5)")
+    return math.log((1.0 - p) / p)
+
+
+def combine_reads_llr(reads: Sequence[np.ndarray], p: float) -> np.ndarray:
+    """Per-bit LLRs from ``K`` independent senses of the same page.
+
+    Positive LLR = bit 0 more likely.  A unanimous stack of K reads yields
+    ``K`` times the single-read magnitude; split votes partially cancel.
+    """
+    if not reads:
+        raise CodecError("need at least one read to combine")
+    mag = single_read_llr_magnitude(p)
+    stack = np.asarray(reads, dtype=np.int64)
+    if stack.ndim != 2:
+        raise CodecError("reads must be a sequence of equal-length bit arrays")
+    ones = stack.sum(axis=0)
+    zeros = stack.shape[0] - ones
+    return (zeros - ones) * mag
+
+
+class SoftReadDecoder:
+    """Multi-read soft decoding front end for a :class:`QcLdpcCode`.
+
+    Parameters
+    ----------
+    code:
+        The code protecting each page.
+    channel_p:
+        Assumed per-read crossover probability (sets LLR magnitudes; the
+        decoder is insensitive to moderate mismatch).
+    max_iterations:
+        Min-sum iteration cap.
+    """
+
+    def __init__(self, code: QcLdpcCode, channel_p: float = 0.005,
+                 max_iterations: int = 20):
+        self.code = code
+        self.channel_p = channel_p
+        self.decoder = MinSumDecoder(
+            code, max_iterations=max_iterations, channel_p=channel_p
+        )
+
+    def decode_reads(self, reads: Sequence[np.ndarray]) -> DecodeResult:
+        """Combine ``reads`` (each one full sensed codeword) and decode."""
+        for read in reads:
+            word = np.asarray(read)
+            if word.shape != (self.code.n,):
+                raise CodecError(
+                    f"each read must be {self.code.n} bits, got {word.shape}"
+                )
+        llr = combine_reads_llr(reads, self.channel_p)
+        return self.decoder.decode_llr(llr)
+
+    def expected_effective_rber(self, rber: float, n_reads: int) -> float:
+        """Majority-vote residual error rate of ``n_reads`` combined senses
+        — a closed-form handle on the soft gain (odd ``n_reads``).
+
+        P[majority wrong] = sum_{k > n/2} C(n,k) p^k (1-p)^(n-k).
+        """
+        if n_reads < 1:
+            raise CodecError("n_reads must be >= 1")
+        if not 0 <= rber <= 0.5:
+            raise CodecError("rber must be in [0, 0.5]")
+        total = 0.0
+        for k in range(n_reads // 2 + 1, n_reads + 1):
+            total += math.comb(n_reads, k) * rber ** k * (1 - rber) ** (n_reads - k)
+        if n_reads % 2 == 0:
+            # ties broken uniformly
+            k = n_reads // 2
+            total += 0.5 * math.comb(n_reads, k) * rber ** k * (1 - rber) ** k
+        return total

@@ -1,0 +1,92 @@
+"""Syndrome computation, syndrome pruning and codeword rearrangement.
+
+These are the three ingredients of the paper's on-die RP implementation
+(SecV):
+
+* **Full syndrome** — all ``m = r*t`` checks (what the off-chip decoder
+  verifies).
+* **Syndrome pruning** — only the first ``t`` syndromes (block row 0) are
+  computed for prediction; the remaining block rows "merely reconfigure the
+  bit arrangements of the first t syndromes" and add little information.
+* **Codeword rearrangement** — each of the ``c`` codeword segments is
+  rotated left by its block-row-0 shift coefficient before programming, so
+  that on die the pruned syndrome reduces to a plain XOR of the ``c``
+  segments followed by a popcount: no irregular bit addressing in hardware
+  (Fig. 15).  The controller restores the layout before off-chip decoding.
+
+``pruned_syndrome_weight(code, w)`` on the original layout and
+``pruned_syndrome_weight_rearranged(code, rearrange_codeword(code, w))`` are
+therefore identical by construction — a tested invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+from .qc_matrix import QcLdpcCode
+
+
+def _segments(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.shape != (code.n,):
+        raise CodecError(f"expected {code.n}-bit word, got {bits.shape}")
+    return bits.reshape(code.c, code.t)
+
+
+def syndrome(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    """Full syndrome S = H . bits (mod 2)."""
+    return code.syndrome(bits)
+
+
+def syndrome_weight(code: QcLdpcCode, bits: np.ndarray) -> int:
+    """Hamming weight of the full syndrome."""
+    return code.syndrome_weight(bits)
+
+
+def pruned_syndrome(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    """The first ``t`` syndromes only (block row 0 of H) — the syndrome
+    pruning approximation of SecV-A2."""
+    segs = _segments(code, bits)
+    t = code.t
+    acc = np.zeros(t, dtype=np.uint8)
+    for j in range(code.c):
+        shift = int(code.shifts[0, j])
+        # check a of block row 0 uses bit (a + shift) mod t of segment j
+        acc ^= np.roll(segs[j], -shift)
+    return acc
+
+
+def pruned_syndrome_weight(code: QcLdpcCode, bits: np.ndarray) -> int:
+    """Weight of the pruned syndrome (original codeword layout)."""
+    return int(pruned_syndrome(code, bits).sum())
+
+
+def rearrange_codeword(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    """Controller-side layout change applied after ECC encoding, before
+    programming: rotate segment ``j`` left by ``C[0][j]`` so the on-die
+    pruned-syndrome computation becomes a plain XOR of segments."""
+    segs = _segments(code, bits)
+    out = np.empty_like(segs)
+    for j in range(code.c):
+        out[j] = np.roll(segs[j], -int(code.shifts[0, j]))
+    return out.reshape(code.n)
+
+
+def restore_codeword(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rearrange_codeword`, applied by the controller on
+    the read path before off-chip LDPC decoding."""
+    segs = _segments(code, bits)
+    out = np.empty_like(segs)
+    for j in range(code.c):
+        out[j] = np.roll(segs[j], int(code.shifts[0, j]))
+    return out.reshape(code.n)
+
+
+def pruned_syndrome_weight_rearranged(code: QcLdpcCode, rearranged_bits: np.ndarray) -> int:
+    """The on-die computation (Fig. 16): XOR the ``c`` segments of the
+    rearranged codeword together and count ones.  This is what the RP
+    hardware actually evaluates — no shift network needed."""
+    segs = _segments(code, rearranged_bits)
+    acc = np.bitwise_xor.reduce(segs, axis=0)
+    return int(acc.sum())

@@ -1,0 +1,71 @@
+"""LFSR-based data randomizer (scrambler).
+
+Modern flash controllers XOR every page with a pseudo-random sequence seeded
+by the page address before programming ([9], [46]-[48], [55], [56] in the
+paper).  Randomization makes the stored VTH states — and therefore the
+ones-count of any sensed page — statistically uniform regardless of host
+data, which is precisely the property the Swift-Read heuristic and RP's
+chunk-based prediction rely on.
+
+The scrambling sequence is a Fibonacci LFSR over the maximal-length
+polynomial x^32 + x^22 + x^2 + x + 1, expanded 32 bits at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+_TAPS = (32, 22, 2, 1)  # maximal-length 32-bit LFSR polynomial
+
+
+class Randomizer:
+    """Address-seeded page scrambler.
+
+    Scrambling is an involution (XOR with a keystream), so
+    :meth:`descramble` simply calls :meth:`scramble`; round-trip identity is
+    a tested invariant.
+    """
+
+    def __init__(self, base_seed: int = 0xACE1):
+        if base_seed <= 0:
+            raise ConfigError("base_seed must be a positive integer")
+        self.base_seed = base_seed & 0xFFFFFFFF
+        if self.base_seed == 0:
+            self.base_seed = 0xACE1
+        # keystreams are pure functions of (key, length); cache the longest
+        # generated per key and slice
+        self._cache: dict = {}
+
+    def _page_seed(self, page_address_key: int) -> int:
+        seed = (self.base_seed ^ (page_address_key * 0x9E3779B1)) & 0xFFFFFFFF
+        return seed or 0xACE1  # the all-zero LFSR state is a fixed point
+
+    def keystream_bits(self, page_address_key: int, n_bits: int) -> np.ndarray:
+        """First ``n_bits`` of the scrambling sequence for a page."""
+        if n_bits < 0:
+            raise ConfigError("n_bits must be non-negative")
+        cached = self._cache.get(page_address_key)
+        if cached is not None and cached.size >= n_bits:
+            return cached[:n_bits]
+        state = self._page_seed(page_address_key)
+        out = np.empty(n_bits, dtype=np.uint8)
+        for i in range(n_bits):
+            out[i] = state & 1
+            fb = 0
+            for tap in _TAPS:
+                fb ^= (state >> (tap - 1)) & 1
+            state = (state >> 1) | (fb << 31)
+        self._cache[page_address_key] = out
+        return out
+
+    def scramble(self, bits: np.ndarray, page_address_key: int) -> np.ndarray:
+        """XOR ``bits`` (uint8 0/1 array) with the page's keystream."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        ks = self.keystream_bits(page_address_key, bits.size)
+        return (bits ^ ks).astype(np.uint8)
+
+    def descramble(self, bits: np.ndarray, page_address_key: int) -> np.ndarray:
+        """Inverse of :meth:`scramble` (identical operation)."""
+        return self.scramble(bits, page_address_key)

@@ -1,0 +1,173 @@
+"""Calibrated raw-bit-error-rate (RBER) model.
+
+The paper characterises 160 real 3D TLC chips and finds (Fig. 4) that a
+page's RBER crosses the ECC correction capability (0.0085 for the 4-KiB
+QC-LDPC of Table I) after a retention time that shrinks with P/E cycles:
+roughly 17 days fresh, 14 days at 200 P/E, 10 days at 500, 8 days at 1K.
+
+We model the median page as
+
+    RBER(pe, t) = r_prog(pe) + (cap - r_prog(pe)) * (t / T_cross(pe)) ** alpha
+                  + r_disturb(pe) * reads
+
+so that, by construction, the median page crosses the capability exactly at
+``T_cross(pe)`` — the quantity the paper measured — while process variation
+(see :mod:`.variation`) spreads the crossing time across blocks and pages to
+produce the distributions of Fig. 4.
+
+``T_cross`` is log-linear-interpolated between the configured anchors and
+extrapolated geometrically beyond them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import EccConfig, ReliabilityConfig
+from ..errors import ConfigError
+from .variation import VariationModel, _unit_to_standard_normal
+
+
+@dataclass(frozen=True)
+class PageState:
+    """Operating condition of a page at read time."""
+
+    pe_cycles: float
+    retention_days: float
+    read_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pe_cycles < 0 or self.retention_days < 0 or self.read_count < 0:
+            raise ConfigError("PageState fields must be non-negative")
+
+
+class RberModel:
+    """RBER as a function of P/E cycles, retention age and read count.
+
+    Parameters
+    ----------
+    reliability:
+        Calibration constants (anchors, exponents, variation sigmas).
+    ecc:
+        Supplies the correction capability the anchors are expressed
+        against.
+    seed:
+        Seed for the deterministic process-variation hash.
+    """
+
+    def __init__(
+        self,
+        reliability: ReliabilityConfig = None,
+        ecc: EccConfig = None,
+        seed: int = 0,
+    ):
+        self.reliability = reliability or ReliabilityConfig()
+        self.ecc = ecc or EccConfig()
+        self.variation = VariationModel(self.reliability, seed=seed)
+        self._anchors = list(self.reliability.t_cross_anchors)
+        # The anchors describe the weakest pages (the `anchor_quantile` of
+        # the crossing distribution); the median page crosses later by the
+        # inverse lognormal quantile of the combined variation sigma.
+        sigma_total = math.hypot(
+            self.reliability.block_variation_sigma,
+            self.reliability.page_variation_sigma,
+        )
+        z_anchor = _unit_to_standard_normal(self.reliability.anchor_quantile)
+        self._median_scale = math.exp(-z_anchor * sigma_total)
+
+    # --- calibration curves ----------------------------------------------------
+
+    def anchor_cross_days(self, pe_cycles: float) -> float:
+        """Retention time (days) at which the weakest (``anchor_quantile``)
+        pages cross the ECC correction capability — Fig. 4's left edge."""
+        if pe_cycles < 0:
+            raise ConfigError("pe_cycles must be non-negative")
+        anchors = self._anchors
+        if pe_cycles <= anchors[0][0]:
+            return anchors[0][1]
+        for (pe0, d0), (pe1, d1) in zip(anchors, anchors[1:]):
+            if pe_cycles <= pe1:
+                # log-linear in days between anchors
+                frac = (pe_cycles - pe0) / (pe1 - pe0)
+                return math.exp(
+                    math.log(d0) + frac * (math.log(d1) - math.log(d0))
+                )
+        # geometric extrapolation from the last two anchors
+        (pe0, d0), (pe1, d1) = anchors[-2], anchors[-1]
+        slope = (math.log(d1) - math.log(d0)) / (pe1 - pe0)
+        return math.exp(math.log(d1) + slope * (pe_cycles - pe1))
+
+    def t_cross_days(self, pe_cycles: float) -> float:
+        """Retention time (days) at which the *median* page's RBER reaches
+        the ECC correction capability, at the given wear level."""
+        return self.anchor_cross_days(pe_cycles) * self._median_scale
+
+    def rber_prog(self, pe_cycles: float) -> float:
+        """Program-time RBER (retention age zero) of the median page."""
+        r = self.reliability
+        return r.rber_prog_fresh * (1.0 + r.rber_prog_pe_slope * pe_cycles / 1000.0)
+
+    def read_disturb_rber(self, pe_cycles: float, read_count: int) -> float:
+        """Additive RBER contribution of repeated reads since last program."""
+        r = self.reliability
+        per_read = r.read_disturb_per_read * (
+            1.0 + r.read_disturb_pe_slope * pe_cycles / 1000.0
+        )
+        return per_read * read_count
+
+    # --- main model --------------------------------------------------------------
+
+    def median_rber(self, state: PageState) -> float:
+        """RBER of the median (factor-1) page under ``state``."""
+        return self._rber_with_factor(state, 1.0)
+
+    def page_rber(self, state: PageState, block_key: tuple, page: int = 0) -> float:
+        """RBER of a specific physical page, including process variation.
+
+        ``block_key`` is any hashable tuple of ints identifying the block
+        (e.g. ``PageAddress.block_key()``); the same key always yields the
+        same variation factor.
+        """
+        factor = self.variation.block_factor(block_key) * self.variation.page_factor(
+            block_key, page
+        )
+        return self._rber_with_factor(state, factor)
+
+    def rber_with_strength(self, state: PageState, strength_factor: float) -> float:
+        """RBER of a page with an explicit process-variation strength factor
+        (1.0 = median page; larger = more reliable)."""
+        return self._rber_with_factor(state, strength_factor)
+
+    def _rber_with_factor(self, state: PageState, strength_factor: float) -> float:
+        cap = self.ecc.correction_capability
+        alpha = self.reliability.retention_exponent
+        r_prog = min(self.rber_prog(state.pe_cycles), cap * 0.9)
+        t_cross = self.t_cross_days(state.pe_cycles) * strength_factor
+        retention_term = (cap - r_prog) * (state.retention_days / t_cross) ** alpha
+        rber = r_prog + retention_term + self.read_disturb_rber(
+            state.pe_cycles, state.read_count
+        )
+        # physical ceiling: a completely scrambled page is 50% wrong
+        return min(rber, 0.5)
+
+    # --- convenience -------------------------------------------------------------
+
+    def exceeds_capability(
+        self, state: PageState, block_key: tuple = (0,), page: int = 0
+    ) -> bool:
+        """Whether this page's RBER is beyond the off-chip ECC capability
+        (i.e. a conventional read would enter the read-retry procedure)."""
+        return self.page_rber(state, block_key, page) > self.ecc.correction_capability
+
+    def crossing_days(self, pe_cycles: float, block_key: tuple, page: int = 0) -> float:
+        """Retention time at which *this* page crosses the capability.
+
+        Solves the median model for the page's variation factor; exact
+        because the retention term is the only time-dependent one (read
+        disturb excluded here, as in the paper's Fig. 4 methodology).
+        """
+        factor = self.variation.block_factor(block_key) * self.variation.page_factor(
+            block_key, page
+        )
+        return self.t_cross_days(pe_cycles) * factor

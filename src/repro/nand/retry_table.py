@@ -1,0 +1,75 @@
+"""Vendor read-retry tables.
+
+Conventional read-retry walks a manufacturer-predefined sequence of VREF
+offset sets (SecII-B2): each entry shifts all seven TLC boundaries down by a
+progressively larger amount (retention loss moves every distribution toward
+the erased state, so the dominant correction is a downward shift).
+
+The table is what reactive baselines (``SSDone`` at the level of mechanism,
+Sentinel before its prediction, and the pre-RiF industry practice) iterate
+through; Swift-Read and RVS bypass it by computing a near-optimal offset
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryStep:
+    """One entry of the retry table: an offset (volts) per boundary index."""
+
+    offsets: Tuple[float, ...]  # one per boundary VR1..VR7
+
+    def offset_map(self) -> Dict[int, float]:
+        """Offsets keyed by 1-based boundary index, as the VTH model wants."""
+        return {i + 1: off for i, off in enumerate(self.offsets)}
+
+
+class RetryTable:
+    """A predefined read-retry VREF sequence.
+
+    Retention leakage shifts each distribution roughly in proportion to its
+    stored charge, so vendor tables step the *high* boundaries down faster
+    than the low ones.  Level ``l`` of the default table applies
+    ``-step_v * l * elevation(b)`` per boundary, where ``elevation`` rises
+    linearly from ~0.2 (VR1, next to the erased state) to ~0.95 (VR7) —
+    matching the proportional-leakage profile of
+    :class:`~repro.nand.vth.TlcVthModel`, so some level of the walk lands
+    near the optimal voltages for any retention age within range.
+    """
+
+    def __init__(self, n_steps: int = 12, step_v: float = 0.08, n_boundaries: int = 7):
+        if n_steps < 1:
+            raise ConfigError("n_steps must be >= 1")
+        if n_boundaries < 1:
+            raise ConfigError("n_boundaries must be >= 1")
+        self.step_v = step_v
+        self._steps = []
+        for level in range(1, n_steps + 1):
+            offsets = []
+            for b in range(n_boundaries):
+                if n_boundaries > 1:
+                    elevation = 0.2 + 0.75 * b / (n_boundaries - 1)
+                else:
+                    elevation = 1.0
+                offsets.append(-step_v * level * elevation)
+            self._steps.append(RetryStep(offsets=tuple(offsets)))
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def step(self, level: int) -> RetryStep:
+        """Retry entry for 1-based ``level`` (level 0 = default voltages)."""
+        if level == 0:
+            return RetryStep(offsets=tuple(0.0 for _ in self._steps[0].offsets))
+        if not 1 <= level <= len(self._steps):
+            raise ConfigError(f"retry level {level} outside table of {len(self._steps)}")
+        return self._steps[level - 1]
+
+    def __iter__(self):
+        return iter(self._steps)

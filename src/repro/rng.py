@@ -1,0 +1,43 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component of the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  :func:`make_rng` normalises the two, and
+:func:`spawn` derives independent child streams so that, e.g., each flash
+block's process-variation draw does not perturb the host arrival stream.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a fresh OS-seeded generator; an ``int`` yields a
+    deterministic PCG64 stream; an existing generator is passed through.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, key: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng`` and an integer
+    ``key``.
+
+    The derivation is deterministic in (parent state, key): the same parent
+    seed and key always produce the same child stream, regardless of how many
+    other children were spawned, because the parent's state is not consumed.
+    """
+    # Mix the key into fresh entropy derived from the parent's bit generator
+    # seed sequence rather than drawing from the parent stream.
+    parent_seq = rng.bit_generator.seed_seq  # type: ignore[attr-defined]
+    child_seq = np.random.SeedSequence(
+        entropy=parent_seq.entropy, spawn_key=(*parent_seq.spawn_key, int(key))
+    )
+    return np.random.default_rng(child_seq)

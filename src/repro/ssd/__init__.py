@@ -1,0 +1,63 @@
+"""Discrete-event SSD simulator (the MQSim-E stand-in of SecVI).
+
+Architecture (Fig. 5 of the paper): a host link feeds an SSD controller
+that fans host requests out over ``channels x dies x planes``; planes sense
+independently, each channel moves one page at a time, and each channel owns
+one LDPC decoder with a finite input buffer — when that buffer is full the
+channel stalls (the paper's ECCWAIT).
+
+The simulator does not decode real codewords per page (neither does the
+paper's); it draws decode outcomes, latencies and RP verdicts from the
+calibrated curves of :mod:`repro.ldpc` and :mod:`repro.core`, and composes
+them into event-accurate timing through seven pluggable read-retry policies
+(:mod:`.retry_policies`).
+"""
+
+from .events import EventQueue, Simulator
+from .resources import SerialResource, EccEngine
+from .reliability import PageReliabilitySampler
+from .lut_reliability import LutReliabilitySampler
+from .ecc_model import EccOutcomeModel
+from .retry_policies import (
+    POLICIES,
+    PolicyName,
+    ReadPlan,
+    Phase,
+    PhaseKind,
+    make_policy,
+)
+from .ftl import PageMapFtl
+from .metrics import SimMetrics, ChannelUsage
+from .simulator import SSDSimulator, SimulationResult
+from .host import ClosedLoopHost, MultiQueueHost, TimedReplayHost
+from .refresh import RefreshAssessment, RefreshPlanner
+from .energy import EnergyBreakdown, EnergyConfig, EnergyModel
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "SerialResource",
+    "EccEngine",
+    "PageReliabilitySampler",
+    "LutReliabilitySampler",
+    "EccOutcomeModel",
+    "POLICIES",
+    "PolicyName",
+    "ReadPlan",
+    "Phase",
+    "PhaseKind",
+    "make_policy",
+    "PageMapFtl",
+    "SimMetrics",
+    "ChannelUsage",
+    "SSDSimulator",
+    "SimulationResult",
+    "ClosedLoopHost",
+    "MultiQueueHost",
+    "TimedReplayHost",
+    "RefreshPlanner",
+    "RefreshAssessment",
+    "EnergyModel",
+    "EnergyConfig",
+    "EnergyBreakdown",
+]

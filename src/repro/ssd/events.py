@@ -1,0 +1,102 @@
+"""Event kernel: a priority-queue discrete-event scheduler.
+
+Deliberately minimal — the simulator needs only "call this function at time
+t" with FIFO tie-breaking.  All times are microseconds (see
+:mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+
+class EventQueue:
+    """Min-heap of (time, seq, callback) with stable ordering."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+
+    def push(self, time: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def pop(self):
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+
+class Simulator:
+    """Owns the clock and the event queue.
+
+    Components schedule work with :meth:`at` / :meth:`after`; the main loop
+    (:meth:`run`) drains events until the queue empties, a time limit is
+    reached, or a caller-provided stop condition returns True.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self.events = EventQueue()
+        self._stopped = False
+        self._processed = 0
+
+    # --- scheduling -----------------------------------------------------------
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        self.events.push(time, callback)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.events.push(self.now + delay, callback)
+
+    # --- main loop ----------------------------------------------------------------
+
+    def run(
+        self,
+        until: float = None,
+        stop_condition: Callable[[], bool] = None,
+        max_events: int = 100_000_000,
+    ) -> None:
+        """Process events in time order.
+
+        ``until`` bounds simulated time; ``stop_condition`` is checked after
+        every event; ``max_events`` guards against runaway simulations.
+        """
+        self._stopped = False
+        while self.events and not self._stopped:
+            if until is not None and self.events.peek_time() > until:
+                self.now = until
+                break
+            time, _seq, callback = self.events.pop()
+            if time < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = time
+            callback()
+            self._processed += 1
+            if self._processed > max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+            if stop_condition is not None and stop_condition():
+                break
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed

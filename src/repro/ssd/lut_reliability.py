@@ -1,0 +1,127 @@
+"""Lookup-table reliability sampler — the paper's exact feeding methodology.
+
+SecVI-A: "each block in MQSim-E is modeled with a lookup table that
+contains RBER values at different P/E-cycle counts, retention ages, and
+block read counts from the device characterization results of a randomly
+chosen test block".  :class:`LutReliabilitySampler` implements that path
+verbatim: it consumes the per-block LUTs produced by
+:meth:`repro.nand.characterization.CharacterizationCampaign.build_block_luts`
+and answers per-read RBER queries by bilinear interpolation over the
+(P/E, retention) grid, plus the read-disturb term.
+
+It is API-compatible with :class:`~repro.ssd.reliability.PageReliabilitySampler`
+so the simulator can swap between the parametric model and the LUT path —
+the two are validated against each other in the test suite (they are built
+from the same physics, so they must agree within interpolation error).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Sequence, Tuple
+
+from ..config import EccConfig, ReliabilityConfig
+from ..errors import ConfigError
+from ..nand.characterization import CharacterizationCampaign
+from ..nand.variation import _hash_to_unit
+from ..units import US_PER_DAY
+
+
+def _interp_axis(grid: Sequence[float], value: float) -> Tuple[int, int, float]:
+    """Clamped linear-interpolation helper: returns (lo, hi, fraction)."""
+    if value <= grid[0]:
+        return 0, 0, 0.0
+    if value >= grid[-1]:
+        last = len(grid) - 1
+        return last, last, 0.0
+    hi = bisect.bisect_right(grid, value)
+    lo = hi - 1
+    frac = (value - grid[lo]) / (grid[hi] - grid[lo])
+    return lo, hi, frac
+
+
+class LutReliabilitySampler:
+    """Per-read RBER oracle backed by per-block characterization LUTs."""
+
+    def __init__(
+        self,
+        pe_cycles: float,
+        n_lut_blocks: int = 64,
+        reliability: ReliabilityConfig = None,
+        ecc: EccConfig = None,
+        seed: int = 0,
+        pe_grid: Sequence[float] = (0, 200, 500, 1000, 2000, 3000),
+        retention_grid_days: Sequence[float] = (0, 1, 3, 7, 14, 21, 28, 30),
+    ):
+        if pe_cycles < 0:
+            raise ConfigError("pe_cycles must be non-negative")
+        if n_lut_blocks < 1:
+            raise ConfigError("need at least one characterized block")
+        self.pe_cycles = pe_cycles
+        self.reliability = reliability or ReliabilityConfig()
+        self.ecc = ecc or EccConfig()
+        self.seed = seed
+        self.pe_grid = list(pe_grid)
+        self.retention_grid = list(retention_grid_days)
+        campaign = CharacterizationCampaign(
+            self.reliability, self.ecc, seed=seed
+        )
+        #: (n_lut_blocks, pe, retention) RBER tables of synthetic test blocks
+        self.luts = campaign.build_block_luts(
+            n_lut_blocks, pe_grid=pe_grid, retention_grid_days=retention_grid_days
+        )
+        self._assigned: Dict[Tuple[int, ...], int] = {}
+
+    # --- block -> test-block assignment -----------------------------------------
+
+    def lut_index_for_block(self, block_key: Tuple[int, ...]) -> int:
+        """Deterministic 'randomly chosen test block' per simulated block."""
+        cached = self._assigned.get(block_key)
+        if cached is None:
+            u = _hash_to_unit(self.seed, 0x1A7B, *[int(k) for k in block_key])
+            cached = int(u * len(self.luts))
+            self._assigned[block_key] = min(cached, len(self.luts) - 1)
+        return self._assigned[block_key]
+
+    # --- sampler API (mirrors PageReliabilitySampler) ------------------------------
+
+    def cold_age_days(self, lpn: int) -> float:
+        u = _hash_to_unit(self.seed, 0xC01D, int(lpn))
+        return u * self.reliability.refresh_days
+
+    def warm_age_days(self, written_at_us: float, now_us: float) -> float:
+        if now_us < written_at_us:
+            raise ConfigError("read before write")
+        return (now_us - written_at_us) / US_PER_DAY
+
+    def rber(
+        self,
+        block_key: Tuple[int, ...],
+        page: int,
+        retention_days: float,
+        read_count: int = 0,
+    ) -> float:
+        """Bilinear LUT lookup + read-disturb term."""
+        table = self.luts[self.lut_index_for_block(block_key)]
+        pi0, pi1, pf = _interp_axis(self.pe_grid, self.pe_cycles)
+        ri0, ri1, rf = _interp_axis(self.retention_grid, retention_days)
+        v00, v01 = table[pi0, ri0], table[pi0, ri1]
+        v10, v11 = table[pi1, ri0], table[pi1, ri1]
+        low = v00 + rf * (v01 - v00)
+        high = v10 + rf * (v11 - v10)
+        base = low + pf * (high - low)
+        disturb = (
+            self.reliability.read_disturb_per_read
+            * (1.0 + self.reliability.read_disturb_pe_slope * self.pe_cycles / 1000.0)
+            * read_count
+        )
+        # beyond the grid's retention ceiling, extrapolate along the last
+        # segment so very old pages keep degrading
+        if retention_days > self.retention_grid[-1] and len(self.retention_grid) > 1:
+            r_lo, r_hi = self.retention_grid[-2], self.retention_grid[-1]
+            slope = (table[pi1, -1] - table[pi1, -2]) / (r_hi - r_lo)
+            base += max(slope, 0.0) * (retention_days - r_hi)
+        return float(min(base + disturb, 0.5))
+
+    def exceeds_capability(self, rber: float) -> bool:
+        return rber > self.ecc.correction_capability

@@ -1,0 +1,120 @@
+"""Measurement plumbing: bandwidth, latency distributions, channel usage.
+
+Channel usage follows the paper's Fig.-18 taxonomy: **COR** (transfers of
+pages the decoder will accept), **UNCOR** (transfers of doomed pages —
+including Sentinel's spare-cell reads and RPSSD's aborted pages),
+**ECCWAIT** (channel idle *because* the decoder's input buffer is full),
+and **IDLE** (everything else).  Host writes and GC relocations are tracked
+separately so read-oriented comparisons stay clean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import SimulationError
+from ..units import bytes_per_us_to_mb_per_s
+
+
+@dataclass(frozen=True)
+class ChannelUsage:
+    """Aggregated channel-time breakdown (absolute microseconds x channels)."""
+
+    cor: float
+    uncor: float
+    write: float
+    gc: float
+    eccwait: float
+    idle: float
+
+    @property
+    def total(self) -> float:
+        return self.cor + self.uncor + self.write + self.gc + self.eccwait + self.idle
+
+    def fractions(self) -> Dict[str, float]:
+        """Normalised shares, the Fig.-18 stacked bars."""
+        total = self.total
+        if total <= 0:
+            raise SimulationError("empty channel-usage interval")
+        return {
+            "COR": self.cor / total,
+            "UNCOR": self.uncor / total,
+            "WRITE": self.write / total,
+            "GC": self.gc / total,
+            "ECCWAIT": self.eccwait / total,
+            "IDLE": self.idle / total,
+        }
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a pre-sorted sequence."""
+    if not sorted_values:
+        raise SimulationError("no samples for percentile")
+    if not 0 <= q <= 100:
+        raise SimulationError("percentile out of range")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+@dataclass
+class SimMetrics:
+    """Mutable counters filled in during a simulation run."""
+
+    host_read_bytes: int = 0
+    host_write_bytes: int = 0
+    read_latencies_us: List[float] = field(default_factory=list)
+    write_latencies_us: List[float] = field(default_factory=list)
+    page_reads: int = 0
+    page_writes: int = 0
+    retried_reads: int = 0
+    in_die_retries: int = 0
+    uncorrectable_transfers: int = 0
+    total_senses: int = 0
+    gc_page_copies: int = 0
+    disturb_relocations: int = 0
+    elapsed_us: float = 0.0
+
+    # --- headline numbers --------------------------------------------------------
+
+    def io_bandwidth_mb_s(self) -> float:
+        """Host-visible I/O bandwidth (reads + writes), the Fig.-6/17 metric."""
+        if self.elapsed_us <= 0:
+            raise SimulationError("run did not advance time")
+        total = self.host_read_bytes + self.host_write_bytes
+        return bytes_per_us_to_mb_per_s(total / self.elapsed_us)
+
+    def read_bandwidth_mb_s(self) -> float:
+        if self.elapsed_us <= 0:
+            raise SimulationError("run did not advance time")
+        return bytes_per_us_to_mb_per_s(self.host_read_bytes / self.elapsed_us)
+
+    def retry_rate(self) -> float:
+        """Fraction of page reads that needed any retry."""
+        if self.page_reads == 0:
+            return 0.0
+        return self.retried_reads / self.page_reads
+
+    def average_extra_senses(self) -> float:
+        """Mean senses per page read beyond the mandatory one (~NRR)."""
+        if self.page_reads == 0:
+            return 0.0
+        return self.total_senses / self.page_reads - 1.0
+
+    # --- latency distribution ---------------------------------------------------------
+
+    def read_latency_percentile(self, q: float) -> float:
+        return percentile(sorted(self.read_latencies_us), q)
+
+    def read_latency_cdf(self, points: int = 100) -> List[tuple]:
+        """(latency_us, cumulative_fraction) pairs — the Fig.-19 curves."""
+        lats = sorted(self.read_latencies_us)
+        if not lats:
+            raise SimulationError("no read latencies recorded")
+        out = []
+        n = len(lats)
+        for i in range(1, points + 1):
+            idx = max(0, math.ceil(i / points * n) - 1)
+            out.append((lats[idx], i / points))
+        return out

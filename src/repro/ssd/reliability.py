@@ -1,0 +1,92 @@
+"""Glue between the NAND reliability model and the SSD simulator.
+
+Responsibilities:
+
+* give every *physical* page a deterministic RBER for the current read,
+  combining scenario wear (the 0K/1K/2K P/E operating point of the
+  evaluation), the page's retention age, its accumulated reads, and the
+  per-block process variation of :mod:`repro.nand.variation`;
+* assign retention ages: a page written during the simulation is as old as
+  the simulated time since its program; a *pre-existing* page (touched
+  first by a read — the paper's "cold read") carries an initial age drawn
+  deterministically and uniformly from ``[0, refresh_days)``, the steady
+  state of a fleet refreshed every ``refresh_days`` (the paper assumes
+  monthly refresh, SecIV-B footnote 3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..config import EccConfig, ReliabilityConfig
+from ..errors import ConfigError
+from ..nand.rber import PageState, RberModel
+from ..nand.thermal import ThermalModel
+from ..nand.variation import _hash_to_unit
+from ..units import US_PER_DAY
+
+
+class PageReliabilitySampler:
+    """Per-read RBER oracle for the simulator.
+
+    ``operating_temp_c`` scales all retention ages by the Arrhenius
+    acceleration factor relative to the characterization reference
+    temperature (:mod:`repro.nand.thermal`): a hot chassis ages the same
+    calendar days into more equivalent retention."""
+
+    def __init__(
+        self,
+        pe_cycles: float,
+        reliability: ReliabilityConfig = None,
+        ecc: EccConfig = None,
+        seed: int = 0,
+        operating_temp_c: float = None,
+        thermal: ThermalModel = None,
+    ):
+        if pe_cycles < 0:
+            raise ConfigError("pe_cycles must be non-negative")
+        self.pe_cycles = pe_cycles
+        self.reliability = reliability or ReliabilityConfig()
+        self.ecc = ecc or EccConfig()
+        self.model = RberModel(self.reliability, self.ecc, seed=seed)
+        self.seed = seed
+        self.thermal = thermal or ThermalModel()
+        self.thermal_acceleration = (
+            1.0 if operating_temp_c is None
+            else self.thermal.acceleration_factor(operating_temp_c)
+        )
+
+    # --- retention ages ------------------------------------------------------------
+
+    def cold_age_days(self, lpn: int) -> float:
+        """Initial retention age of a pre-existing logical page: uniform in
+        [0, refresh_days), deterministic in (seed, lpn)."""
+        u = _hash_to_unit(self.seed, 0xC01D, int(lpn))
+        return u * self.reliability.refresh_days
+
+    def warm_age_days(self, written_at_us: float, now_us: float) -> float:
+        """Retention age of a page written during the simulation."""
+        if now_us < written_at_us:
+            raise ConfigError("read before write")
+        return (now_us - written_at_us) / US_PER_DAY
+
+    # --- RBER -----------------------------------------------------------------------
+
+    def rber(
+        self,
+        block_key: Tuple[int, ...],
+        page: int,
+        retention_days: float,
+        read_count: int = 0,
+    ) -> float:
+        """RBER of one sense of a physical page right now."""
+        state = PageState(
+            pe_cycles=self.pe_cycles,
+            retention_days=retention_days * self.thermal_acceleration,
+            read_count=read_count,
+        )
+        return self.model.page_rber(state, block_key, page)
+
+    def exceeds_capability(self, rber: float) -> bool:
+        """Whether a conventional read at this RBER enters read-retry."""
+        return rber > self.ecc.correction_capability

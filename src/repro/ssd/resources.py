@@ -1,0 +1,199 @@
+"""Contended hardware resources: planes, channels, and per-channel ECC.
+
+Everything serial in the SSD is a :class:`SerialResource`: it executes one
+job at a time in FIFO order, records how long it was busy under each tag
+(the channel-usage classification of Fig. 18 falls out of this), and
+supports *head gating* — a job may declare a ``can_start`` predicate, and
+while the queue head is gated the resource accumulates *blocked* time.  For
+a flash channel the only gate is "does the channel's ECC decoder have a free
+buffer slot", so the blocked time **is** the paper's ECCWAIT.
+
+:class:`EccEngine` combines a slot counter (the finite decoder input
+buffer) with a serial decode unit; releasing a slot kicks the gated
+channel so it can re-evaluate its head job.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from .events import Simulator
+
+
+@dataclass
+class Job:
+    """One unit of serial work on a resource."""
+
+    duration: float
+    tag: str
+    on_start: Optional[Callable[[], None]] = None
+    on_complete: Optional[Callable[[], None]] = None
+    can_start: Optional[Callable[[], bool]] = None
+    #: larger runs first when the resource arbitrates (see ``arbitrated``)
+    priority: int = 0
+
+
+class SerialResource:
+    """A serial resource with busy-time accounting and head gating.
+
+    Default scheduling is strict FIFO: a gated head blocks everything
+    behind it (head-of-line blocking — this is what turns a full decoder
+    buffer into the paper's ECCWAIT).  With ``arbitrated=True`` the
+    resource instead picks the highest-priority *runnable* job (FIFO within
+    a priority level), letting un-gated work — e.g. write transfers, which
+    do not need a decoder slot — bypass a stalled read transfer."""
+
+    def __init__(self, sim: Simulator, name: str, arbitrated: bool = False):
+        self.sim = sim
+        self.name = name
+        self.arbitrated = arbitrated
+        self._queue: deque = deque()
+        self._busy = False
+        self._blocked_since: Optional[float] = None
+        self.busy_time_by_tag: Dict[str, float] = {}
+        self.blocked_time: float = 0.0
+        self.jobs_completed: int = 0
+
+    # --- public API ------------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Enqueue a job; it starts as soon as the resource frees up and its
+        gate (if any) opens."""
+        if job.duration < 0:
+            raise SimulationError(f"negative job duration on {self.name}")
+        self._queue.append(job)
+        self._try_start()
+
+    def kick(self) -> None:
+        """Re-evaluate the queue head (call when a gate may have opened)."""
+        self._try_start()
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def total_busy_time(self) -> float:
+        return sum(self.busy_time_by_tag.values())
+
+    # --- internals -----------------------------------------------------------------
+
+    def _select(self):
+        """Index of the next job to run, or None if nothing is runnable."""
+        if not self.arbitrated:
+            head = self._queue[0]
+            if head.can_start is not None and not head.can_start():
+                return None
+            return 0
+        best = None
+        for idx, job in enumerate(self._queue):
+            if job.can_start is not None and not job.can_start():
+                continue
+            if best is None or job.priority > self._queue[best].priority:
+                best = idx
+        return best
+
+    def _try_start(self) -> None:
+        if self._busy or not self._queue:
+            self._settle_blocked(unblocked=not self._queue)
+            return
+        chosen = self._select()
+        if chosen is None:
+            if self._blocked_since is None:
+                self._blocked_since = self.sim.now
+            return
+        self._settle_blocked(unblocked=True)
+        if chosen == 0:
+            job = self._queue.popleft()
+        else:
+            job = self._queue[chosen]
+            del self._queue[chosen]
+        self._busy = True
+        if job.on_start is not None:
+            job.on_start()
+        self.sim.after(job.duration, lambda: self._finish(job))
+
+    def _finish(self, job: Job) -> None:
+        self._busy = False
+        self.busy_time_by_tag[job.tag] = (
+            self.busy_time_by_tag.get(job.tag, 0.0) + job.duration
+        )
+        self.jobs_completed += 1
+        if job.on_complete is not None:
+            job.on_complete()
+        self._try_start()
+
+    def _settle_blocked(self, unblocked: bool) -> None:
+        if self._blocked_since is not None and unblocked:
+            self.blocked_time += self.sim.now - self._blocked_since
+            self._blocked_since = None
+
+    def finalize(self) -> None:
+        """Close any open blocked interval at the end of a run."""
+        if self._blocked_since is not None:
+            self.blocked_time += self.sim.now - self._blocked_since
+            self._blocked_since = None
+
+
+class EccEngine:
+    """Per-channel LDPC decoder: finite input buffer + serial decode unit.
+
+    A buffer slot is reserved when the channel *starts* streaming a page in
+    (data accumulates in the buffer during the transfer) and released when
+    that page's decode *completes* — so a slow (or failed, 20 us) decode
+    holds its slot and eventually stalls the channel, reproducing the
+    paper's third root cause (SecIII-B3).
+    """
+
+    def __init__(self, sim: Simulator, name: str, buffer_pages: int):
+        if buffer_pages < 1:
+            raise SimulationError("ECC buffer must hold at least one page")
+        self.sim = sim
+        self.name = name
+        self.buffer_pages = buffer_pages
+        self.slots_in_use = 0
+        self.decoder = SerialResource(sim, f"{name}.decoder")
+        self._slot_waiters: List[Callable[[], None]] = []
+
+    # --- buffer slots -------------------------------------------------------------
+
+    def can_reserve(self) -> bool:
+        return self.slots_in_use < self.buffer_pages
+
+    def reserve_slot(self) -> None:
+        if not self.can_reserve():
+            raise SimulationError(f"{self.name}: buffer overflow")
+        self.slots_in_use += 1
+
+    def release_slot(self) -> None:
+        if self.slots_in_use <= 0:
+            raise SimulationError(f"{self.name}: slot underflow")
+        self.slots_in_use -= 1
+        for waiter in self._slot_waiters:
+            waiter()
+
+    def subscribe_on_release(self, callback: Callable[[], None]) -> None:
+        """Register a persistent callback invoked on every slot release —
+        the channel subscribes its ``kick`` so a gated head job re-checks
+        whenever buffer space appears."""
+        self._slot_waiters.append(callback)
+
+    # --- decoding ---------------------------------------------------------------------
+
+    def submit_decode(
+        self, duration: float, tag: str, on_complete: Callable[[], None]
+    ) -> None:
+        """Queue a decode; the buffer slot is released after completion,
+        then ``on_complete`` runs."""
+
+        def finish() -> None:
+            self.release_slot()
+            on_complete()
+
+        self.decoder.submit(Job(duration=duration, tag=tag, on_complete=finish))

@@ -1,0 +1,396 @@
+"""The seven evaluated SSD read-retry schemes (SecIII-B, SecVI-A).
+
+Each policy compiles a page read into a timed :class:`ReadPlan` — a
+sequence of SENSE (plane) and TRANSFER(+decode) (channel, ECC) phases — by
+sampling outcomes from the :class:`~repro.ssd.ecc_model.EccOutcomeModel`.
+The discrete-event simulator then walks the plan through the contended
+resources; all scheme-specific logic lives here.
+
+==========  =====================================================================
+Policy      Mechanism
+==========  =====================================================================
+SSDzero     Hypothetical: no read ever retries (upper bound).
+SSDone      Ideal reactive retry: one voltage-adjusted re-read always suffices
+            (NRR = 1), but the failed first transfer + failed decode are paid.
+SENC        Sentinel [23]: reactive; reading the sentinel cells may need an
+            *extra* off-chip read (page-type dependent), and the predicted
+            VREF occasionally misses (NRR averages ~1.2).
+SWR         Swift-Read [32]: reactive; the retry is a single flash command
+            performing two senses in-chip, then one transfer + short decode.
+SWR+        SWR plus proactive VREF tracking [19]: a fraction of reads start
+            from pre-optimised voltages and never fail in the first place.
+RPSSD       RiF's RP moved to the *controller*: doomed decodes are aborted
+            after tPRED (killing ECCWAIT), but uncorrectable pages still
+            cross the channel.
+RiFSSD      The paper's scheme: on-die RP + RVS.  Predicted-uncorrectable
+            pages are re-read in-die and never transferred; only
+            mispredictions ever ship a bad page.
+==========  =====================================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..config import NandTimings
+from ..errors import ConfigError
+from .ecc_model import EccOutcomeModel
+
+#: Channel-usage tags (Fig. 18 categories; IDLE/ECCWAIT are derived by the
+#: resources, not tagged on jobs).
+TAG_COR = "COR"
+TAG_UNCOR = "UNCOR"
+TAG_WRITE = "WRITE"
+TAG_GC = "GC"
+
+#: Safety bound on reactive retry rounds (vendor tables are finite).
+MAX_RETRY_ROUNDS = 8
+
+
+class PhaseKind(enum.Enum):
+    """What a plan phase occupies."""
+
+    SENSE = "sense"        # plane busy for `duration`
+    TRANSFER = "transfer"  # channel busy; optionally followed by a decode
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One step of a read plan.
+
+    ``decode_us`` on a TRANSFER means the page streams into the channel's
+    ECC buffer (the transfer is gated on a free slot) and a decode of that
+    duration follows.  A TRANSFER without ``decode_us`` (e.g. Sentinel's
+    spare-cell read) goes to the controller's own buffer and is not gated.
+    """
+
+    kind: PhaseKind
+    duration: float
+    tag: str = TAG_COR
+    decode_us: Optional[float] = None
+
+
+@dataclass
+class ReadPlan:
+    """A fully-sampled page read, ready for event-driven execution."""
+
+    phases: List[Phase]
+    rber: float
+    retried: bool = False               # any retry happened (any scheme)
+    in_die_retry: bool = False          # retry resolved inside the die (RiF)
+    rp_predicted_retry: Optional[bool] = None
+    uncorrectable_transfers: int = 0    # doomed pages that crossed the channel
+    senses: int = 0                     # total senses incl. in-command ones
+
+    def total_plane_time(self) -> float:
+        return sum(p.duration for p in self.phases if p.kind is PhaseKind.SENSE)
+
+    def total_channel_time(self) -> float:
+        return sum(p.duration for p in self.phases if p.kind is PhaseKind.TRANSFER)
+
+
+class PolicyName(str, enum.Enum):
+    """Registry keys of the evaluated SSD configurations."""
+
+    SSD_ZERO = "SSDzero"
+    SSD_ONE = "SSDone"
+    SENC = "SENC"
+    SWR = "SWR"
+    SWR_PLUS = "SWR+"
+    RPSSD = "RPSSD"
+    RIF = "RiFSSD"
+
+
+class ReadRetryPolicy:
+    """Base class: shared plan-building vocabulary."""
+
+    name: PolicyName
+
+    def __init__(self, timings: NandTimings, model: EccOutcomeModel):
+        self.timings = timings
+        self.model = model
+
+    # --- the one required hook ---------------------------------------------------
+
+    def plan_read(self, rber: float) -> ReadPlan:
+        raise NotImplementedError
+
+    # --- shared plan fragments -----------------------------------------------------
+
+    def _round(self, plan: ReadPlan, sense_us: float, senses: int,
+               success: bool, t_ecc: float) -> None:
+        """Append one sense+transfer+decode round."""
+        tag = TAG_COR if success else TAG_UNCOR
+        plan.phases.append(Phase(PhaseKind.SENSE, sense_us))
+        plan.phases.append(
+            Phase(PhaseKind.TRANSFER, self.timings.t_dma, tag, decode_us=t_ecc)
+        )
+        plan.senses += senses
+        if not success:
+            plan.uncorrectable_transfers += 1
+
+    #: Senses combined by the last-resort soft-decision recovery.
+    SOFT_RECOVERY_READS = 5
+
+    def _soft_recovery_round(self, plan: ReadPlan) -> None:
+        """Last-resort recovery after the retry budget: K staggered-VREF
+        senses combined into soft LLRs decode far beyond the hard-decision
+        capability (:mod:`repro.ldpc.soft`), at the price of K page reads
+        and a long soft decode — how real SSDs avoid declaring data loss."""
+        t = self.timings
+        plan.retried = True
+        plan.phases.append(
+            Phase(PhaseKind.SENSE, t.t_read * self.SOFT_RECOVERY_READS)
+        )
+        plan.phases.append(
+            Phase(
+                PhaseKind.TRANSFER,
+                t.t_dma * 2,  # soft data is wider than one hard page
+                TAG_COR,
+                decode_us=2.0 * self.model.ecc.t_ecc_max,
+            )
+        )
+        plan.senses += self.SOFT_RECOVERY_READS
+
+    def _reactive_swift_rounds(self, plan: ReadPlan, rber: float) -> None:
+        """Voltage-adjusted re-reads via the Swift-Read command, repeated
+        until the decode succeeds (bounded); falls back to soft-decision
+        recovery if the budget is exhausted."""
+        t = self.timings
+        for _ in range(MAX_RETRY_ROUNDS):
+            plan.retried = True
+            draw = self.model.retried_decode(rber)
+            self._round(plan, t.t_read + t.t_swift_extra, 2, draw.success, draw.t_ecc)
+            if draw.success:
+                return
+        self._soft_recovery_round(plan)
+
+
+class SSDZeroPolicy(ReadRetryPolicy):
+    """No read ever retries; decodes are always short and successful."""
+
+    name = PolicyName.SSD_ZERO
+
+    def plan_read(self, rber: float) -> ReadPlan:
+        plan = ReadPlan(phases=[], rber=rber)
+        draw = self.model.healthy_decode(rber)
+        self._round(plan, self.timings.t_read, 1, True, draw.t_ecc)
+        return plan
+
+
+class SSDOnePolicy(ReadRetryPolicy):
+    """Ideal reactive retry: NRR = 1 for every retried read."""
+
+    name = PolicyName.SSD_ONE
+
+    def plan_read(self, rber: float) -> ReadPlan:
+        plan = ReadPlan(phases=[], rber=rber)
+        first = self.model.first_decode(rber)
+        self._round(plan, self.timings.t_read, 1, first.success, first.t_ecc)
+        if first.success:
+            return plan
+        plan.retried = True
+        for _ in range(MAX_RETRY_ROUNDS):
+            draw = self.model.retried_decode(rber)
+            self._round(plan, self.timings.t_read, 1, draw.success, draw.t_ecc)
+            if draw.success:
+                return plan
+        self._soft_recovery_round(plan)
+        return plan
+
+
+class SentinelPolicy(ReadRetryPolicy):
+    """Sentinel [23]: spare-cell error indicators predict near-optimal VREF,
+    but reading them may need an extra off-chip read, and the prediction
+    misses often enough that NRR averages ~1.2.
+
+    Parameters mirror the paper's description: ``p_extra_read`` is the
+    probability the sentinel cells need different VREF values than the
+    failed page (an extra sense + transfer), ``p_vref_miss`` the probability
+    the predicted voltage still fails to decode (0.2 -> NRR ~= 1.2)."""
+
+    name = PolicyName.SENC
+
+    def __init__(self, timings: NandTimings, model: EccOutcomeModel,
+                 p_extra_read: float = 2.0 / 3.0, p_vref_miss: float = 0.2):
+        super().__init__(timings, model)
+        if not 0 <= p_extra_read <= 1 or not 0 <= p_vref_miss <= 1:
+            raise ConfigError("Sentinel probabilities must be in [0, 1]")
+        self.p_extra_read = p_extra_read
+        self.p_vref_miss = p_vref_miss
+
+    def plan_read(self, rber: float) -> ReadPlan:
+        t = self.timings
+        plan = ReadPlan(phases=[], rber=rber)
+        first = self.model.first_decode(rber)
+        self._round(plan, t.t_read, 1, first.success, first.t_ecc)
+        if first.success:
+            return plan
+        plan.retried = True
+        if self.model.bernoulli(self.p_extra_read):
+            # sentinel-cell read: full page sense + off-chip transfer, no
+            # LDPC decode (the controller only inspects the sentinel bits)
+            plan.phases.append(Phase(PhaseKind.SENSE, t.t_read))
+            plan.phases.append(Phase(PhaseKind.TRANSFER, t.t_dma, TAG_UNCOR))
+            plan.senses += 1
+            plan.uncorrectable_transfers += 1
+        for _ in range(MAX_RETRY_ROUNDS):
+            if self.model.bernoulli(self.p_vref_miss):
+                # predicted VREF missed: another failed full round
+                self._round(plan, t.t_read, 1, False,
+                            self.model.latency.latency_us(rber, failed=True))
+                continue
+            draw = self.model.retried_decode(rber)
+            self._round(plan, t.t_read, 1, draw.success, draw.t_ecc)
+            if draw.success:
+                return plan
+        self._soft_recovery_round(plan)
+        return plan
+
+
+class SwiftReadPolicy(ReadRetryPolicy):
+    """SWR: reactive Swift-Read retries."""
+
+    name = PolicyName.SWR
+
+    def plan_read(self, rber: float) -> ReadPlan:
+        plan = ReadPlan(phases=[], rber=rber)
+        first = self.model.first_decode(rber)
+        self._round(plan, self.timings.t_read, 1, first.success, first.t_ecc)
+        if not first.success:
+            self._reactive_swift_rounds(plan, rber)
+        return plan
+
+
+class SwiftReadPlusPolicy(SwiftReadPolicy):
+    """SWR+: Swift-Read plus proactive VREF tracking [19] — a fraction of
+    reads start from pre-optimised voltages and behave like healthy reads."""
+
+    name = PolicyName.SWR_PLUS
+
+    def __init__(self, timings: NandTimings, model: EccOutcomeModel,
+                 p_tracked: float = 0.5):
+        super().__init__(timings, model)
+        if not 0 <= p_tracked <= 1:
+            raise ConfigError("p_tracked must be in [0, 1]")
+        self.p_tracked = p_tracked
+
+    def plan_read(self, rber: float) -> ReadPlan:
+        if self.model.bernoulli(self.p_tracked):
+            plan = ReadPlan(phases=[], rber=rber)
+            draw = self.model.retried_decode(rber)  # pre-optimised voltages
+            self._round(plan, self.timings.t_read, 1, draw.success, draw.t_ecc)
+            if not draw.success:
+                self._reactive_swift_rounds(plan, rber)
+            return plan
+        return super().plan_read(rber)
+
+
+class RpAtControllerPolicy(ReadRetryPolicy):
+    """RPSSD: the RP predictor sits in the SSD controller.  A predicted-
+    uncorrectable page still burns the transfer, but its decode is aborted
+    after tPRED instead of dragging for the full failed-decode latency."""
+
+    name = PolicyName.RPSSD
+
+    def plan_read(self, rber: float) -> ReadPlan:
+        t = self.timings
+        plan = ReadPlan(phases=[], rber=rber)
+        first = self.model.first_decode(rber)
+        rp_retry = self.model.rp_predicts_retry(rber)
+        plan.rp_predicted_retry = rp_retry
+        if rp_retry:
+            # decode aborted after the controller-side prediction; the page
+            # is discarded regardless of its true correctability
+            self._round(plan, t.t_read, 1, False, t.t_pred)
+            self._reactive_swift_rounds(plan, rber)
+            return plan
+        self._round(plan, t.t_read, 1, first.success, first.t_ecc)
+        if not first.success:
+            # RP missed (false clean): the full failed decode was paid
+            self._reactive_swift_rounds(plan, rber)
+        return plan
+
+
+class RifPolicy(ReadRetryPolicy):
+    """RiFSSD: the ODEAR engine runs RP after every sense (tPRED added to
+    the plane occupancy) and resolves predicted failures *inside the die*
+    with an RVS re-read — the failed sense never touches the channel.
+
+    ``recheck_reread`` implements the paper's footnote-4 extension: when
+    the Swift-Read voltage estimate cannot be trusted to always land below
+    the capability, RP also inspects the *second* sensed page (one more
+    tPRED on the plane) and, if it still looks uncorrectable, the die
+    performs additional in-die rounds before anything is transferred."""
+
+    name = PolicyName.RIF
+
+    def __init__(self, timings: NandTimings, model: EccOutcomeModel,
+                 recheck_reread: bool = False, max_in_die_rounds: int = 3):
+        super().__init__(timings, model)
+        if max_in_die_rounds < 1:
+            raise ConfigError("max_in_die_rounds must be >= 1")
+        self.recheck_reread = recheck_reread
+        self.max_in_die_rounds = max_in_die_rounds
+
+    def plan_read(self, rber: float) -> ReadPlan:
+        t = self.timings
+        plan = ReadPlan(phases=[], rber=rber)
+        rp_retry = self.model.rp_predicts_retry(rber)
+        plan.rp_predicted_retry = rp_retry
+        if rp_retry:
+            # in-die retry: sense + prediction + one RVS re-read, then a
+            # single transfer of the corrected page
+            plan.retried = True
+            plan.in_die_retry = True
+            sense_us = t.t_read + t.t_pred + t.t_swift_extra
+            senses = 2
+            rounds = 1
+            draw = self.model.retried_decode(rber)
+            if self.recheck_reread:
+                # RP inspects the re-read too (one more tPRED per round):
+                # a still-uncorrectable re-read is caught on-die with the
+                # Fig.-11 accuracy and re-read again instead of being
+                # shipped to a doomed decode
+                retry_rber = self.model.retry_rber(rber)
+                sense_us += t.t_pred
+                while (not draw.success
+                       and rounds < self.max_in_die_rounds
+                       and self.model.rp_catches_failed_page(retry_rber)):
+                    sense_us += t.t_swift_extra + t.t_pred
+                    senses += 1
+                    rounds += 1
+                    draw = self.model.retried_decode(rber)
+            self._round(plan, sense_us, senses, draw.success, draw.t_ecc)
+            if not draw.success:
+                self._reactive_swift_rounds(plan, rber)
+            return plan
+        first = self.model.first_decode(rber)
+        self._round(plan, t.t_read + t.t_pred, 1, first.success, first.t_ecc)
+        if not first.success:
+            # false clean: RP let an uncorrectable page through; fall back
+            # to a controller-driven Swift-Read
+            self._reactive_swift_rounds(plan, rber)
+        return plan
+
+
+#: Registry mapping policy names to constructors.
+POLICIES: Dict[PolicyName, Callable[..., ReadRetryPolicy]] = {
+    PolicyName.SSD_ZERO: SSDZeroPolicy,
+    PolicyName.SSD_ONE: SSDOnePolicy,
+    PolicyName.SENC: SentinelPolicy,
+    PolicyName.SWR: SwiftReadPolicy,
+    PolicyName.SWR_PLUS: SwiftReadPlusPolicy,
+    PolicyName.RPSSD: RpAtControllerPolicy,
+    PolicyName.RIF: RifPolicy,
+}
+
+
+def make_policy(
+    name, timings: NandTimings, model: EccOutcomeModel, **kwargs
+) -> ReadRetryPolicy:
+    """Instantiate a policy by name (string or :class:`PolicyName`)."""
+    key = PolicyName(name)
+    return POLICIES[key](timings, model, **kwargs)

@@ -1,0 +1,491 @@
+"""Top-level SSD simulator: wiring, request execution, and run loops.
+
+The simulated device follows Fig. 5 / Table I: a host link (8 GB/s) in
+front of a controller that spreads page operations over
+``channels x dies x planes`` — planes sense independently (multi-plane
+parallelism), each channel is a serial 1.2 GB/s link, and each channel owns
+one LDPC decoder with a finite input buffer.  Retry behaviour is entirely
+delegated to the configured :mod:`~repro.ssd.retry_policies` policy, which
+compiles every page read into a timed phase plan.
+
+Use :meth:`SSDSimulator.run_trace` for whole-workload runs, or
+:meth:`SSDSimulator.submit_request` + :meth:`SSDSimulator.run` for custom
+drivers; :class:`TimelineTracer` records per-phase events for the Fig. 7/8
+execution-timeline experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..config import SSDConfig
+from ..errors import SimulationError
+from ..nand.geometry import AddressMapper, PageAddress
+from ..rng import SeedLike, make_rng, spawn
+from ..units import SEC
+from ..workloads.trace import IORequest, Trace
+from .ecc_model import EccOutcomeModel
+from .events import Simulator
+from .ftl import PageMapFtl
+from .host import ClosedLoopHost, TimedReplayHost
+from .metrics import ChannelUsage, SimMetrics
+from .reliability import PageReliabilitySampler
+from .resources import EccEngine, Job, SerialResource
+from .retry_policies import (
+    Phase,
+    PhaseKind,
+    ReadPlan,
+    TAG_GC,
+    TAG_WRITE,
+    make_policy,
+)
+
+
+@dataclass
+class TimelineEvent:
+    """One recorded phase for the execution-timeline experiments."""
+
+    label: str
+    resource: str
+    start_us: float
+    end_us: float
+    tag: str
+
+
+class TimelineTracer:
+    """Optional recorder of every resource occupancy interval."""
+
+    def __init__(self):
+        self.events: List[TimelineEvent] = []
+
+    def record(self, label: str, resource: str, start: float, end: float,
+               tag: str) -> None:
+        self.events.append(TimelineEvent(label, resource, start, end, tag))
+
+    def by_resource(self) -> Dict[str, List[TimelineEvent]]:
+        out: Dict[str, List[TimelineEvent]] = {}
+        for ev in self.events:
+            out.setdefault(ev.resource, []).append(ev)
+        return out
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a workload run produces."""
+
+    policy: str
+    pe_cycles: float
+    workload: str
+    metrics: SimMetrics
+    channel_usage: ChannelUsage
+
+    @property
+    def io_bandwidth_mb_s(self) -> float:
+        return self.metrics.io_bandwidth_mb_s()
+
+
+class _RequestState:
+    """Tracks completion of a multi-page host request."""
+
+    __slots__ = ("remaining", "started_us", "is_read", "bytes", "on_complete")
+
+    def __init__(self, remaining: int, started_us: float, is_read: bool,
+                 nbytes: int, on_complete: Optional[Callable[[], None]]):
+        self.remaining = remaining
+        self.started_us = started_us
+        self.is_read = is_read
+        self.bytes = nbytes
+        self.on_complete = on_complete
+
+
+class SSDSimulator:
+    """A complete simulated SSD running one retry policy at one wear level."""
+
+    def __init__(
+        self,
+        config: SSDConfig = None,
+        policy: str = "RiFSSD",
+        pe_cycles: float = 0.0,
+        seed: SeedLike = 7,
+        outcome_model: EccOutcomeModel = None,
+        policy_kwargs: Optional[dict] = None,
+        tracer: TimelineTracer = None,
+        reliability_mode: str = "parametric",
+        read_disturb_threshold: Optional[int] = None,
+        operating_temp_c: Optional[float] = None,
+        channel_arbitration: bool = False,
+    ):
+        self.config = config or SSDConfig()
+        self.sim = Simulator()
+        self.tracer = tracer
+        g = self.config.geometry
+        self.mapper = AddressMapper(g)
+
+        root = make_rng(seed)
+        sampler_seed = int(spawn(root, 1).integers(0, 2**31))
+        if reliability_mode == "parametric":
+            self.sampler = PageReliabilitySampler(
+                pe_cycles,
+                self.config.reliability,
+                self.config.ecc,
+                seed=sampler_seed,
+                operating_temp_c=operating_temp_c,
+            )
+        elif reliability_mode == "lut":
+            if operating_temp_c is not None:
+                raise SimulationError(
+                    "LUT reliability tables are characterised at the "
+                    "reference temperature; use the parametric mode for "
+                    "temperature studies"
+                )
+            # the paper's exact methodology: per-block characterization
+            # lookup tables from randomly assigned test blocks
+            from .lut_reliability import LutReliabilitySampler
+
+            self.sampler = LutReliabilitySampler(
+                pe_cycles,
+                reliability=self.config.reliability,
+                ecc=self.config.ecc,
+                seed=sampler_seed,
+            )
+        else:
+            raise SimulationError(
+                f"unknown reliability_mode {reliability_mode!r} "
+                "(use 'parametric' or 'lut')"
+            )
+        self.outcome_model = outcome_model or EccOutcomeModel(
+            ecc=self.config.ecc, seed=spawn(root, 2)
+        )
+        self.policy = make_policy(
+            policy, self.config.timings, self.outcome_model,
+            **(policy_kwargs or {}),
+        )
+        self.pe_cycles = pe_cycles
+        self.ftl = PageMapFtl(self.config)
+        self.metrics = SimMetrics()
+        #: reads a block tolerates before read-disturb relocation (None =
+        #: management off; real parts use ~100K, scale it to the trace)
+        self.read_disturb_threshold = read_disturb_threshold
+        if read_disturb_threshold is not None and read_disturb_threshold < 1:
+            raise SimulationError("read_disturb_threshold must be >= 1")
+
+        # --- resources ---
+        self.host_link = SerialResource(self.sim, "host")
+        self.planes = [
+            SerialResource(self.sim, f"plane{i}") for i in range(g.total_planes)
+        ]
+        #: with arbitration on, read transfers outrank writes/GC and
+        #: un-gated traffic may bypass a decoder-stalled read (the channel
+        #: keeps moving write data during ECCWAIT)
+        self.channel_arbitration = channel_arbitration
+        self.channels = [
+            SerialResource(self.sim, f"ch{i}", arbitrated=channel_arbitration)
+            for i in range(g.channels)
+        ]
+        self.eccs = [
+            EccEngine(self.sim, f"ecc{i}", self.config.ecc.buffer_pages)
+            for i in range(g.channels)
+        ]
+        for channel, ecc in zip(self.channels, self.eccs):
+            ecc.subscribe_on_release(channel.kick)
+
+        self._page_size = g.page_size
+        self._host_page_us = self._page_size / self.config.bandwidth.host_bytes_per_us
+
+    # --- request entry point ------------------------------------------------------------
+
+    def submit_request(self, request: IORequest,
+                       on_complete: Optional[Callable[[], None]] = None) -> None:
+        """Admit one host request; pages fan out immediately."""
+        lpns = list(request.lpns(self._page_size))
+        state = _RequestState(
+            remaining=len(lpns),
+            started_us=self.sim.now,
+            is_read=request.is_read,
+            nbytes=request.size_bytes,
+            on_complete=on_complete,
+        )
+        for lpn in lpns:
+            if request.is_read:
+                self._start_page_read(lpn, state)
+            else:
+                self._start_page_write(lpn, state)
+
+    def run(self, until: float = None,
+            stop_condition: Callable[[], bool] = None) -> None:
+        """Drive the event loop (see :meth:`Simulator.run`)."""
+        self.sim.run(until=until, stop_condition=stop_condition)
+        self.metrics.elapsed_us = self.sim.now
+        for resource in (*self.channels, *self.planes, self.host_link):
+            resource.finalize()
+
+    # --- page read ---------------------------------------------------------------------------
+
+    def _start_page_read(self, lpn: int, state: _RequestState) -> None:
+        target = self.ftl.read(lpn)
+        if target.cold:
+            retention = self.sampler.cold_age_days(lpn)
+        else:
+            retention = self.sampler.warm_age_days(target.written_at_us, self.sim.now)
+        rber = self.sampler.rber(
+            target.address.block_key(), target.address.page,
+            retention, target.block_read_count,
+        )
+        plan = self.policy.plan_read(rber)
+        self._account_plan(plan)
+        self._execute_plan(plan, target.address, state, label=f"R:lpn{lpn}")
+        if (self.read_disturb_threshold is not None
+                and target.block_read_count >= self.read_disturb_threshold):
+            self._relocate_disturbed_block(target.address)
+
+    def _relocate_disturbed_block(self, address: PageAddress) -> None:
+        """Read-disturb management: rewrite a heavily-read block, resetting
+        its disturb counter (SecI's 'read-disturb management' internal
+        traffic)."""
+        pidx = self.mapper.plane_index(address.channel, address.die,
+                                       address.plane)
+        result = self.ftl.relocate_block(pidx, address.block, self.sim.now)
+        if result is None:
+            return  # unsafe right now; the next read will retry
+        self.metrics.disturb_relocations += 1
+        self.metrics.gc_page_copies += len(result.gc_copies)
+        for copy in result.gc_copies:
+            self._start_gc_copy(copy.source, copy.destination)
+        for plane_idx, _block in result.erased_blocks:
+            self.planes[plane_idx].submit(
+                Job(duration=self.config.timings.t_erase, tag="ERASE")
+            )
+
+    def _account_plan(self, plan: ReadPlan) -> None:
+        m = self.metrics
+        m.page_reads += 1
+        m.total_senses += plan.senses
+        m.retried_reads += int(plan.retried)
+        m.in_die_retries += int(plan.in_die_retry)
+        m.uncorrectable_transfers += plan.uncorrectable_transfers
+
+    def _execute_plan(self, plan: ReadPlan, address: PageAddress,
+                      state: _RequestState, label: str) -> None:
+        plane = self.planes[self.mapper.plane_index(
+            address.channel, address.die, address.plane)]
+        channel = self.channels[address.channel]
+        ecc = self.eccs[address.channel]
+        phases = plan.phases
+
+        def run_phase(index: int) -> None:
+            if index >= len(phases):
+                self._finish_page_read(state)
+                return
+            phase = phases[index]
+            advance = lambda: run_phase(index + 1)
+            if phase.kind is PhaseKind.SENSE:
+                self._submit_traced(
+                    plane, phase.duration, "SENSE", label, advance
+                )
+            elif phase.kind is PhaseKind.TRANSFER:
+                if phase.decode_us is None:
+                    self._submit_traced(
+                        channel, phase.duration, phase.tag, label, advance,
+                        priority=1,
+                    )
+                else:
+                    self._submit_transfer_with_decode(
+                        channel, ecc, phase, label, advance
+                    )
+            else:  # pragma: no cover - enum is closed
+                raise SimulationError(f"unknown phase kind {phase.kind}")
+
+        run_phase(0)
+
+    def _submit_traced(self, resource: SerialResource, duration: float,
+                       tag: str, label: str, on_complete: Callable[[], None],
+                       priority: int = 0) -> None:
+        if self.tracer is None:
+            resource.submit(Job(duration=duration, tag=tag,
+                                on_complete=on_complete, priority=priority))
+            return
+        start_holder = {}
+
+        def on_start() -> None:
+            start_holder["t"] = self.sim.now
+
+        def done() -> None:
+            self.tracer.record(label, resource.name, start_holder["t"],
+                               self.sim.now, tag)
+            on_complete()
+
+        resource.submit(Job(duration=duration, tag=tag,
+                            on_start=on_start, on_complete=done,
+                            priority=priority))
+
+    def _submit_transfer_with_decode(self, channel: SerialResource,
+                                     ecc: EccEngine, phase: Phase, label: str,
+                                     advance: Callable[[], None]) -> None:
+        """Channel transfer gated on a free decoder-buffer slot, followed by
+        the decode itself."""
+        start_holder = {}
+
+        def on_start() -> None:
+            ecc.reserve_slot()
+            start_holder["t"] = self.sim.now
+
+        def after_transfer() -> None:
+            if self.tracer is not None:
+                self.tracer.record(label, channel.name, start_holder["t"],
+                                   self.sim.now, phase.tag)
+            decode_start = self.sim.now
+
+            def after_decode() -> None:
+                if self.tracer is not None:
+                    self.tracer.record(label, ecc.name, decode_start,
+                                       self.sim.now, phase.tag)
+                advance()
+
+            ecc.submit_decode(phase.decode_us, phase.tag, after_decode)
+
+        channel.submit(Job(
+            duration=phase.duration,
+            tag=phase.tag,
+            on_start=on_start,
+            on_complete=after_transfer,
+            can_start=ecc.can_reserve,
+            priority=1,
+        ))
+
+    def _finish_page_read(self, state: _RequestState) -> None:
+        """Corrected page goes to the host over the shared host link."""
+        self.host_link.submit(Job(
+            duration=self._host_page_us,
+            tag="READ",
+            on_complete=lambda: self._page_done(state),
+        ))
+
+    # --- page write -----------------------------------------------------------------------------
+
+    def _start_page_write(self, lpn: int, state: _RequestState) -> None:
+        result = self.ftl.write(lpn, self.sim.now)
+        self.metrics.page_writes += 1
+        for copy in result.gc_copies:
+            self._start_gc_copy(copy.source, copy.destination)
+        self.metrics.gc_page_copies += len(result.gc_copies)
+        for pidx, _block in result.erased_blocks:
+            self.planes[pidx].submit(
+                Job(duration=self.config.timings.t_erase, tag="ERASE")
+            )
+        address = result.address
+        plane = self.planes[self.mapper.plane_index(
+            address.channel, address.die, address.plane)]
+        channel = self.channels[address.channel]
+        t = self.config.timings
+
+        def after_host() -> None:
+            channel.submit(Job(
+                duration=t.t_dma, tag=TAG_WRITE, on_complete=after_channel,
+            ))
+
+        def after_channel() -> None:
+            plane.submit(Job(
+                duration=t.t_prog, tag=TAG_WRITE,
+                on_complete=lambda: self._page_done(state),
+            ))
+
+        self.host_link.submit(Job(
+            duration=self._host_page_us, tag="WRITE", on_complete=after_host,
+        ))
+
+    def _start_gc_copy(self, src: PageAddress, dst: PageAddress) -> None:
+        """Internal relocation: sense, move out, move back, program."""
+        t = self.config.timings
+        src_plane = self.planes[self.mapper.plane_index(
+            src.channel, src.die, src.plane)]
+        dst_plane = self.planes[self.mapper.plane_index(
+            dst.channel, dst.die, dst.plane)]
+        out_channel = self.channels[src.channel]
+        in_channel = self.channels[dst.channel]
+
+        def after_sense() -> None:
+            out_channel.submit(Job(duration=t.t_dma, tag=TAG_GC,
+                                   on_complete=after_out))
+
+        def after_out() -> None:
+            in_channel.submit(Job(duration=t.t_dma, tag=TAG_GC,
+                                  on_complete=after_in))
+
+        def after_in() -> None:
+            dst_plane.submit(Job(duration=t.t_prog, tag=TAG_GC))
+
+        src_plane.submit(Job(duration=t.t_read, tag=TAG_GC,
+                             on_complete=after_sense))
+
+    # --- completion & metrics ---------------------------------------------------------------------
+
+    def _page_done(self, state: _RequestState) -> None:
+        state.remaining -= 1
+        if state.remaining > 0:
+            return
+        latency = self.sim.now - state.started_us
+        if state.is_read:
+            self.metrics.host_read_bytes += state.bytes
+            self.metrics.read_latencies_us.append(latency)
+        else:
+            self.metrics.host_write_bytes += state.bytes
+            self.metrics.write_latencies_us.append(latency)
+        if state.on_complete is not None:
+            state.on_complete()
+
+    def channel_usage(self) -> ChannelUsage:
+        """Aggregate Fig.-18 channel-time breakdown across all channels."""
+        if self.metrics.elapsed_us <= 0:
+            raise SimulationError("run the simulation first")
+        cor = uncor = write = gc = eccwait = 0.0
+        for channel in self.channels:
+            tags = channel.busy_time_by_tag
+            cor += tags.get("COR", 0.0)
+            uncor += tags.get("UNCOR", 0.0)
+            write += tags.get(TAG_WRITE, 0.0)
+            gc += tags.get(TAG_GC, 0.0)
+            eccwait += channel.blocked_time
+        total = self.metrics.elapsed_us * len(self.channels)
+        busy = cor + uncor + write + gc + eccwait
+        if busy > total + 1e-6:
+            raise SimulationError("channel accounting exceeded wall clock")
+        return ChannelUsage(
+            cor=cor, uncor=uncor, write=write, gc=gc,
+            eccwait=eccwait, idle=max(total - busy, 0.0),
+        )
+
+    # --- workload runs -------------------------------------------------------------------------------
+
+    def run_trace(
+        self,
+        trace: Trace,
+        mode: str = "closed",
+        max_requests: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        time_limit_us: float = 300 * SEC,
+    ) -> SimulationResult:
+        """Run a whole trace and return the aggregated result.
+
+        ``mode='closed'`` keeps a constant queue depth (bandwidth
+        measurement); ``mode='timed'`` replays recorded arrival times.
+        """
+        if mode == "closed":
+            host = ClosedLoopHost(self, trace, queue_depth=queue_depth,
+                                  max_requests=max_requests)
+        elif mode == "timed":
+            host = TimedReplayHost(self, trace, max_requests=max_requests)
+        else:
+            raise SimulationError(f"unknown mode {mode!r}")
+        host.start()
+        self.run(until=time_limit_us)
+        if not host.done and self.sim.now >= time_limit_us:
+            # partial run: bandwidth over the elapsed window is still valid
+            pass
+        return SimulationResult(
+            policy=str(self.policy.name.value),
+            pe_cycles=self.pe_cycles,
+            workload=trace.name,
+            metrics=self.metrics,
+            channel_usage=self.channel_usage(),
+        )

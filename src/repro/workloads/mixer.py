@@ -1,0 +1,84 @@
+"""Trace manipulation utilities: merge, scale, slice, filter.
+
+Production studies rarely replay a trace verbatim: they co-locate tenants
+(merge), stress-test at multiples of the recorded rate (scale), or isolate
+phases (slice/filter).  These helpers compose with the generators in
+:mod:`repro.workloads.synthetic` and preserve the :class:`Trace`
+invariants (non-decreasing timestamps)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import TraceError
+from .trace import IORequest, Trace
+
+
+def merge(traces: Sequence[Trace], name: str = None) -> Trace:
+    """Time-interleave several traces into one (multi-tenant colocation).
+
+    Requests keep their original timestamps; ties preserve the order of the
+    input list."""
+    if not traces:
+        raise TraceError("nothing to merge")
+    streams = [
+        ((req.timestamp_us, idx, seq), req)
+        for idx, trace in enumerate(traces)
+        for seq, req in enumerate(trace)
+    ]
+    streams.sort(key=lambda pair: pair[0])
+    merged_name = name or "+".join(t.name for t in traces)
+    return Trace([req for _key, req in streams], name=merged_name)
+
+
+def scale_rate(trace: Trace, factor: float, name: str = None) -> Trace:
+    """Speed a trace up (`factor > 1`) or slow it down by compressing the
+    inter-arrival times."""
+    if factor <= 0:
+        raise TraceError("rate factor must be positive")
+    out = [
+        IORequest(req.timestamp_us / factor, req.op, req.offset_bytes,
+                  req.size_bytes)
+        for req in trace
+    ]
+    return Trace(out, name=name or f"{trace.name}x{factor:g}")
+
+
+def slice_time(trace: Trace, start_us: float, end_us: float,
+               rebase: bool = True) -> Trace:
+    """Requests arriving within ``[start_us, end_us)``, optionally rebased
+    to t=0 (phase isolation)."""
+    if end_us <= start_us:
+        raise TraceError("empty time window")
+    out = []
+    for req in trace:
+        if start_us <= req.timestamp_us < end_us:
+            t = req.timestamp_us - start_us if rebase else req.timestamp_us
+            out.append(IORequest(t, req.op, req.offset_bytes, req.size_bytes))
+    return Trace(out, name=f"{trace.name}[{start_us:g}:{end_us:g}]")
+
+
+def filter_ops(trace: Trace, op: str) -> Trace:
+    """Only the reads (``'R'``) or only the writes (``'W'``)."""
+    if op not in ("R", "W"):
+        raise TraceError("op must be 'R' or 'W'")
+    return Trace([r for r in trace if r.op == op],
+                 name=f"{trace.name}.{op.lower()}only")
+
+
+def repeat(trace: Trace, times: int, gap_us: float = 0.0) -> Trace:
+    """Concatenate ``times`` copies back to back (steady-state warm-up)."""
+    if times < 1:
+        raise TraceError("times must be >= 1")
+    if len(trace) == 0:
+        raise TraceError("cannot repeat an empty trace")
+    if gap_us < 0:
+        raise TraceError("gap must be non-negative")
+    span = trace[len(trace) - 1].timestamp_us + gap_us
+    out = []
+    for i in range(times):
+        base = i * span
+        for req in trace:
+            out.append(IORequest(base + req.timestamp_us, req.op,
+                                 req.offset_bytes, req.size_bytes))
+    return Trace(out, name=f"{trace.name}r{times}")

@@ -1,0 +1,50 @@
+"""Shared fixtures: small-but-real instances of the expensive objects."""
+
+import pytest
+
+from repro.config import LdpcCodeConfig, SSDConfig, small_test_config
+from repro.ldpc import MinSumDecoder, QcLdpcCode, SystematicEncoder
+
+
+@pytest.fixture(scope="session")
+def code():
+    """A small QC-LDPC code with the paper's 4x36 block structure."""
+    return QcLdpcCode(LdpcCodeConfig(circulant_size=37))
+
+
+@pytest.fixture(scope="session")
+def code64():
+    """A mid-size code for decode-quality tests."""
+    return QcLdpcCode(LdpcCodeConfig(circulant_size=67))
+
+
+@pytest.fixture(scope="session")
+def encoder(code):
+    enc = SystematicEncoder(code)
+    enc.encode  # touch so preparation cost is paid once per session
+    return enc
+
+
+@pytest.fixture(scope="session")
+def encoder64(code64):
+    return SystematicEncoder(code64)
+
+
+@pytest.fixture(scope="session")
+def decoder(code):
+    return MinSumDecoder(code)
+
+
+@pytest.fixture()
+def ssd_config():
+    """The scaled-down SSD config used by simulator tests."""
+    return small_test_config()
+
+
+@pytest.fixture()
+def tiny_ssd_config():
+    """An even smaller SSD for FTL/GC stress tests."""
+    return SSDConfig().scaled(
+        channels=1, dies_per_channel=1, planes_per_die=2,
+        blocks_per_plane=8, pages_per_block=8,
+    )

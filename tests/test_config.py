@@ -1,0 +1,125 @@
+"""Configuration dataclasses and their validation."""
+
+import pytest
+
+from repro.config import (
+    BandwidthConfig,
+    EccConfig,
+    LdpcCodeConfig,
+    NandGeometry,
+    NandTimings,
+    ReliabilityConfig,
+    SSDConfig,
+    small_test_config,
+)
+from repro.errors import ConfigError
+from repro.units import TIB
+
+
+def test_default_geometry_matches_table1():
+    g = NandGeometry()
+    assert (g.channels, g.dies_per_channel, g.planes_per_die) == (8, 4, 4)
+    assert (g.blocks_per_plane, g.pages_per_block) == (1888, 576)
+    assert g.page_size == 16 * 1024
+    # Table I: 2-TiB total capacity
+    assert g.capacity_bytes / TIB == pytest.approx(2.0, rel=0.05)
+
+
+def test_geometry_derived_counts():
+    g = NandGeometry(channels=2, dies_per_channel=3, planes_per_die=4,
+                     blocks_per_plane=5, pages_per_block=6)
+    assert g.total_dies == 6
+    assert g.total_planes == 24
+    assert g.total_blocks == 120
+    assert g.pages_per_plane == 30
+    assert g.total_pages == 720
+
+
+def test_geometry_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        NandGeometry(channels=0)
+    with pytest.raises(ConfigError):
+        NandGeometry(pages_per_block=-1)
+
+
+def test_timings_match_table1():
+    t = NandTimings()
+    assert (t.t_read, t.t_prog, t.t_erase) == (40.0, 400.0, 3500.0)
+    assert (t.t_dma, t.t_pred) == (13.0, 2.5)
+
+
+def test_timings_reject_negative():
+    with pytest.raises(ConfigError):
+        NandTimings(t_read=-1.0)
+
+
+def test_ecc_config_defaults_and_validation():
+    e = EccConfig()
+    assert e.correction_capability == 0.0085
+    assert (e.t_ecc_min, e.t_ecc_max) == (1.0, 20.0)
+    with pytest.raises(ConfigError):
+        EccConfig(correction_capability=0.6)
+    with pytest.raises(ConfigError):
+        EccConfig(t_ecc_min=5.0, t_ecc_max=2.0)
+    with pytest.raises(ConfigError):
+        EccConfig(buffer_pages=0)
+
+
+def test_bandwidths_match_table1():
+    b = BandwidthConfig()
+    assert b.host_bytes_per_us == pytest.approx(8000.0)
+    assert b.channel_bytes_per_us == pytest.approx(1200.0)
+
+
+def test_ldpc_config_structure():
+    c = LdpcCodeConfig()
+    assert (c.block_rows, c.block_cols) == (4, 36)
+    assert c.n == 36 * c.circulant_size
+    assert c.m == 4 * c.circulant_size
+    assert c.rate == pytest.approx(8 / 9)
+
+
+def test_ldpc_paper_scale():
+    c = LdpcCodeConfig.paper_scale()
+    assert c.circulant_size == 1024
+    assert c.n == 36864  # 4.5 KiB codeword protecting 4 KiB data
+    assert c.k == 32768
+
+
+def test_ldpc_config_validation():
+    with pytest.raises(ConfigError):
+        LdpcCodeConfig(block_rows=5, block_cols=5)
+    with pytest.raises(ConfigError):
+        LdpcCodeConfig(circulant_size=2)
+
+
+def test_reliability_anchor_validation():
+    with pytest.raises(ConfigError):
+        ReliabilityConfig(t_cross_anchors=((100.0, 5.0), (50.0, 3.0)))
+    with pytest.raises(ConfigError):
+        ReliabilityConfig(t_cross_anchors=((0.0, -1.0),))
+    with pytest.raises(ConfigError):
+        ReliabilityConfig(anchor_quantile=0.7)
+
+
+def test_ssd_config_validation():
+    with pytest.raises(ConfigError):
+        SSDConfig(over_provisioning=0.7)
+    with pytest.raises(ConfigError):
+        SSDConfig(queue_depth=0)
+
+
+def test_scaled_returns_new_config():
+    base = SSDConfig()
+    scaled = base.scaled(channels=2)
+    assert scaled.geometry.channels == 2
+    assert base.geometry.channels == 8  # original untouched
+    assert scaled.timings == base.timings
+
+
+def test_small_test_config_preserves_plane_channel_ratio():
+    small = small_test_config()
+    full = SSDConfig()
+    small_ratio = small.geometry.dies_per_channel * small.geometry.planes_per_die
+    full_ratio = full.geometry.dies_per_channel * full.geometry.planes_per_die
+    assert small_ratio == full_ratio

@@ -1,0 +1,90 @@
+"""Cycle-level RP datapath vs the mathematical syndrome."""
+
+import numpy as np
+import pytest
+
+from repro.core.datapath import RpDatapath
+from repro.core.hardware import RpHardwareModel
+from repro.core.rp import ReadRetryPredictor
+from repro.errors import CodecError, ConfigError
+from repro.ldpc.syndrome import (
+    pruned_syndrome_weight,
+    rearrange_codeword,
+)
+
+
+@pytest.fixture(scope="module")
+def datapath(code):
+    rp = ReadRetryPredictor(code)
+    return RpDatapath(code, threshold=rp.threshold)
+
+
+def _rearranged(code, rber, seed):
+    rng = np.random.default_rng(seed)
+    word = (rng.random(code.n) < rber).astype(np.uint8)
+    return word, rearrange_codeword(code, word)
+
+
+def test_weight_matches_mathematics_exactly(code, datapath):
+    for seed, rber in enumerate((0.0, 0.001, 0.01, 0.2)):
+        original, rearranged = _rearranged(code, rber, seed)
+        trace = datapath.run(rearranged)
+        assert trace.syndrome_weight == pruned_syndrome_weight(code, original)
+
+
+def test_verdict_matches_comparator(code, datapath):
+    rp = ReadRetryPredictor(code)
+    for seed in range(6):
+        original, rearranged = _rearranged(code, 0.008, 100 + seed)
+        trace = datapath.run(rearranged)
+        assert trace.needs_retry == rp.predict(original).needs_retry
+
+
+def test_cycle_count_is_streaming_plus_drain(code, datapath):
+    _, rearranged = _rearranged(code, 0.01, 3)
+    trace = datapath.run(rearranged)
+    assert trace.words_fetched == datapath.streaming_cycles()
+    assert trace.cycles == datapath.streaming_cycles() + 3
+
+
+def test_latency_scaling(code, datapath):
+    _, rearranged = _rearranged(code, 0.01, 4)
+    trace = datapath.run(rearranged)
+    assert trace.latency_us(100.0) == pytest.approx(trace.cycles / 100.0)
+    assert trace.latency_us(200.0) == pytest.approx(trace.cycles / 200.0)
+    with pytest.raises(ConfigError):
+        trace.latency_us(0.0)
+
+
+def test_paper_scale_cycle_budget_consistent_with_hardware_model():
+    """At the paper's geometry (t=1024, c=36, 128-bit words) the streaming
+    cycle count must match the analytic tPRED of the hardware model:
+    36864 bits / 128 = 288 cycles ~ 2.88 us at 100 MHz, in the same band
+    as the page-buffer-limited 2.5 us the paper quotes."""
+    from repro.config import LdpcCodeConfig
+    from repro.ldpc import QcLdpcCode
+
+    code = QcLdpcCode(LdpcCodeConfig.paper_scale())
+    datapath = RpDatapath(code, threshold=3830)
+    assert datapath.streaming_cycles() == 288
+    streaming_us = datapath.streaming_cycles() / 100.0
+    analytic_us = RpHardwareModel().t_pred_us(4096)
+    assert streaming_us == pytest.approx(analytic_us, rel=0.2)
+
+
+def test_odd_word_width_padding(code):
+    """A word width that does not divide t must still produce the exact
+    weight (tail words are masked)."""
+    datapath = RpDatapath(code, threshold=10, word_width=24)
+    original, rearranged = _rearranged(code, 0.01, 9)
+    trace = datapath.run(rearranged)
+    assert trace.syndrome_weight == pruned_syndrome_weight(code, original)
+
+
+def test_validation(code, datapath):
+    with pytest.raises(CodecError):
+        datapath.run(np.zeros(3, dtype=np.uint8))
+    with pytest.raises(ConfigError):
+        RpDatapath(code, threshold=-1)
+    with pytest.raises(ConfigError):
+        RpDatapath(code, threshold=5, word_width=0)

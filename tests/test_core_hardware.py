@@ -1,0 +1,68 @@
+"""RP hardware cost model (SecV-B, SecVI-C)."""
+
+import pytest
+
+from repro.core.hardware import RpHardwareModel
+from repro.errors import ConfigError
+from repro.units import KIB
+
+
+@pytest.fixture()
+def model():
+    return RpHardwareModel()
+
+
+def test_matches_paper_synthesis(model):
+    report = model.report()
+    assert report.area_mm2 == pytest.approx(0.012, rel=0.1)
+    assert report.power_mw == pytest.approx(1.28, rel=0.1)
+    assert report.t_pred_us == pytest.approx(2.5, rel=0.01)
+    assert report.energy_per_prediction_nj == pytest.approx(3.2, rel=0.1)
+    assert report.transfer_energy_saved_nj == pytest.approx(907.0)
+
+
+def test_energy_identity(model):
+    """Energy per prediction must equal power x tPRED (unit sanity)."""
+    report = model.report()
+    assert report.energy_per_prediction_nj == pytest.approx(
+        report.power_mw * report.t_pred_us
+    )
+
+
+def test_net_saving_positive(model):
+    assert model.report().net_energy_saving_nj > 900
+
+
+def test_tpred_scales_with_chunk(model):
+    assert model.t_pred_us(8 * KIB) == pytest.approx(2 * model.t_pred_us(4 * KIB))
+    assert model.t_pred_us(16 * KIB) == pytest.approx(10.0)  # full buffer [43]
+
+
+def test_area_scales_with_word_width():
+    narrow = RpHardwareModel(word_width=64)
+    wide = RpHardwareModel(word_width=256)
+    assert narrow.area_mm2() < wide.area_mm2()
+
+
+def test_expected_energy_delta_sign(model):
+    """With zero retries RP is a small cost; with frequent retries a large
+    net win (SecVI-C's argument)."""
+    assert model.expected_read_energy_delta_nj(0.0) > 0
+    assert model.expected_read_energy_delta_nj(0.5) < -400
+
+
+def test_component_inventory_complete(model):
+    gates = model.component_gates()
+    assert {"segment_reg", "syndrome_reg", "xor_array", "weight_counter",
+            "accumulator", "comparator", "control"} == set(gates)
+    assert all(g > 0 for g in gates.values())
+    assert model.total_gates() == pytest.approx(sum(gates.values()))
+
+
+def test_validation(model):
+    with pytest.raises(ConfigError):
+        RpHardwareModel(word_width=4)
+    with pytest.raises(ConfigError):
+        model.t_pred_us(0)
+    with pytest.raises(ConfigError):
+        model.expected_read_energy_delta_nj(1.5)

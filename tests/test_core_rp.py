@@ -1,0 +1,121 @@
+"""The read-retry predictor (RP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rp import ReadRetryPredictor
+from repro.errors import CodecError, ConfigError
+from repro.ldpc.syndrome import rearrange_codeword
+
+
+def _errors(code, rber, seed):
+    rng = np.random.default_rng(seed)
+    return (rng.random(code.n) < rber).astype(np.uint8)
+
+
+def test_threshold_set_from_capability(code):
+    rp = ReadRetryPredictor(code, capability_rber=0.0085)
+    assert rp.threshold == rp.statistics.threshold_for_rber(0.0085)
+    assert 0 < rp.threshold < code.t
+
+
+def test_explicit_threshold_override(code):
+    rp = ReadRetryPredictor(code, threshold=5)
+    assert rp.threshold == 5
+
+
+def test_clean_codeword_predicted_correctable(code, encoder):
+    rp = ReadRetryPredictor(code)
+    word = encoder.random_codeword(seed=3)
+    prediction = rp.predict(word)
+    assert not prediction.needs_retry
+    assert prediction.syndrome_weight == 0
+
+
+def test_hopeless_page_predicted_uncorrectable(code, encoder):
+    rp = ReadRetryPredictor(code)
+    word = encoder.random_codeword(seed=4) ^ _errors(code, 0.05, 4)
+    assert rp.predict(word).needs_retry
+
+
+def test_prediction_monotone_in_weight(code):
+    rp = ReadRetryPredictor(code)
+    assert not rp.predict_from_weight(rp.threshold).needs_retry
+    assert rp.predict_from_weight(rp.threshold + 1).needs_retry
+
+
+def test_rearranged_fast_path_equals_original_layout(code, encoder):
+    rp = ReadRetryPredictor(code, use_pruning=True)
+    word = encoder.random_codeword(seed=5) ^ _errors(code, 0.01, 5)
+    w_orig = rp.compute_weight(word)
+    w_fast = rp.compute_weight(rearrange_codeword(code, word), rearranged=True)
+    assert w_orig == w_fast
+
+
+def test_full_syndrome_mode_uses_all_checks(code, encoder):
+    exact = ReadRetryPredictor(code, use_pruning=False)
+    pruned = ReadRetryPredictor(code, use_pruning=True)
+    assert exact.statistics.n_checks == code.m
+    assert pruned.statistics.n_checks == code.t
+    word = encoder.random_codeword(seed=6) ^ _errors(code, 0.01, 6)
+    assert exact.compute_weight(word) >= pruned.compute_weight(word)
+
+
+def test_rearranged_requires_pruning(code, encoder):
+    rp = ReadRetryPredictor(code, use_pruning=False)
+    word = encoder.random_codeword(seed=7)
+    with pytest.raises(CodecError):
+        rp.compute_weight(word, rearranged=True)
+
+
+def test_chunk_based_prediction_uses_first_chunk(code, encoder):
+    """A multi-chunk page with errors only beyond chunk 0 must look clean
+    to the chunk-based predictor — the approximation's blind spot."""
+    rp = ReadRetryPredictor(code)
+    clean = encoder.random_codeword(seed=8)
+    dirty = encoder.random_codeword(seed=9) ^ _errors(code, 0.05, 9)
+    page = np.concatenate([clean, dirty])
+    assert not rp.predict(page).needs_retry
+    page_bad_first = np.concatenate([dirty, clean])
+    assert rp.predict(page_bad_first).needs_retry
+
+
+def test_partial_chunk_rejected(code):
+    rp = ReadRetryPredictor(code)
+    with pytest.raises(CodecError):
+        rp.predict(np.zeros(code.n + 3, dtype=np.uint8))
+    with pytest.raises(CodecError):
+        rp.compute_weight(np.zeros(code.n - 1, dtype=np.uint8))
+
+
+def test_estimate_rber_monotone(code):
+    rp = ReadRetryPredictor(code)
+    estimates = [rp.estimate_rber(w) for w in (1, 5, 15)]
+    assert estimates == sorted(estimates)
+
+
+def test_validation(code):
+    with pytest.raises(ConfigError):
+        ReadRetryPredictor(code, capability_rber=0.7)
+    with pytest.raises(ConfigError):
+        ReadRetryPredictor(code, threshold=-1)
+
+
+def test_discrimination_around_capability(code):
+    """RP must fire much more often above its capability than below —
+    the statistical content of Figs. 10/11."""
+    rp = ReadRetryPredictor(code, capability_rber=0.0085)
+    lo = sum(
+        rp.predict_from_weight(
+            rp.compute_weight(_errors(code, 0.003, s))
+        ).needs_retry
+        for s in range(40)
+    )
+    hi = sum(
+        rp.predict_from_weight(
+            rp.compute_weight(_errors(code, 0.016, 100 + s))
+        ).needs_retry
+        for s in range(40)
+    )
+    assert lo <= 8
+    assert hi >= 32

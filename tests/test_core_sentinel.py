@@ -1,0 +1,160 @@
+"""Functional Sentinel baseline: codec, estimator, retry loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.odear import CodewordPipeline
+from repro.core.sentinel import SentinelCodec, SentinelEstimator, SentinelReadPath
+from repro.errors import CodecError, ConfigError
+from repro.nand.chip import FlashDie
+from repro.nand.vth import PageType, TlcVthModel
+
+
+@pytest.fixture(scope="module")
+def pipeline(code):
+    return CodewordPipeline(code)
+
+
+@pytest.fixture(scope="module")
+def path(pipeline):
+    return SentinelReadPath(pipeline)
+
+
+def _die_with_page(path, seed, page=0):
+    rng = np.random.default_rng(seed)
+    message = rng.integers(0, 2, path.pipeline.message_bits, dtype=np.uint8)
+    die = FlashDie(blocks=1, pages_per_block=3, page_bits=path.page_bits,
+                   seed=seed)
+    die.program(0, 0, page, path.prepare_page(message, page_key=page + 1))
+    return die, message
+
+
+# --- codec -------------------------------------------------------------------
+
+
+def test_codec_attach_split_roundtrip():
+    codec = SentinelCodec(n_sentinel_bits=64)
+    codeword = np.arange(100, dtype=np.uint8) % 2
+    page = codec.attach(codeword)
+    assert page.size == 164
+    back, sentinels = codec.split(page, 100)
+    assert np.array_equal(back, codeword)
+    assert np.array_equal(sentinels, codec.pattern)
+    assert codec.sentinel_error_rate(sentinels) == 0.0
+
+
+def test_codec_error_rate_counts_flips():
+    codec = SentinelCodec(n_sentinel_bits=64)
+    flipped = codec.pattern.copy()
+    flipped[:16] ^= 1
+    assert codec.sentinel_error_rate(flipped) == pytest.approx(0.25)
+
+
+def test_codec_pattern_is_balanced():
+    codec = SentinelCodec(n_sentinel_bits=256)
+    assert abs(float(codec.pattern.mean()) - 0.5) < 0.1
+
+
+def test_codec_validation():
+    with pytest.raises(ConfigError):
+        SentinelCodec(n_sentinel_bits=4)
+    codec = SentinelCodec()
+    with pytest.raises(CodecError):
+        codec.split(np.zeros(10, dtype=np.uint8), 100)
+    with pytest.raises(CodecError):
+        codec.sentinel_error_rate(np.zeros(3, dtype=np.uint8))
+
+
+# --- estimator -------------------------------------------------------------------
+
+
+def test_estimator_zero_errors_no_correction():
+    estimator = SentinelEstimator()
+    offsets = estimator.estimate_offsets(0.0, PageType.CSB)
+    assert all(off == 0.0 for off in offsets.values())
+
+
+def test_estimator_recovers_near_optimal_offsets():
+    """Feed the estimator the *true* RBER of an aged page; its corrections
+    must land close to the exhaustive-search optimum."""
+    vth = TlcVthModel()
+    estimator = SentinelEstimator(vth)
+    months = 1.2
+    for ptype in PageType:
+        true_rber = vth.page_rber(ptype, 0.0, months)
+        offsets = estimator.estimate_offsets(true_rber, ptype)
+        corrected = vth.page_rber(ptype, 0.0, months, vref_offsets=offsets)
+        optimal = vth.page_rber(ptype, 0.0, months, vref_offsets={
+            b: vth.optimal_vref_offset(b, 0.0, months)
+            for b in ptype.boundaries
+        })
+        assert corrected < true_rber * 0.4
+        assert corrected < optimal * 3.0
+
+
+def test_estimator_monotone_in_error_rate():
+    estimator = SentinelEstimator()
+    shallow = estimator.estimate_offsets(0.01, PageType.LSB)
+    deep = estimator.estimate_offsets(0.08, PageType.LSB)
+    for b in PageType.LSB.boundaries:
+        assert deep[b] < shallow[b] <= 0.0
+
+
+def test_estimator_validation():
+    with pytest.raises(ConfigError):
+        SentinelEstimator().estimate_offsets(1.5, PageType.LSB)
+
+
+# --- the retry loop ---------------------------------------------------------------
+
+
+def test_fresh_page_single_transfer(path):
+    die, message = _die_with_page(path, seed=51)
+    result = path.read(die, 0, 0, 0, page_key=1)
+    assert result.success
+    assert np.array_equal(result.message, message)
+    assert result.stats.transfers == 1
+
+
+def test_aged_page_recovered_with_one_retry(path):
+    die, message = _die_with_page(path, seed=52)
+    die.advance_time(35.0)
+    result = path.read(die, 0, 0, 0, page_key=1)
+    assert result.success
+    assert np.array_equal(result.message, message)
+    # NRR ~ 1: the failed first transfer plus the predicted-voltage re-read
+    assert result.stats.failed_transfers >= 1
+    assert result.stats.transfers <= 3
+
+
+def test_sentinel_ships_more_transfers_than_rif(path, pipeline, code):
+    """The head-to-head the paper runs: over aged pages, Sentinel's
+    reactive loop crosses the channel more often than RiF."""
+    from repro.core.odear import RifReadPath, OdearEngine
+    from repro.core.rp import ReadRetryPredictor
+
+    sentinel_transfers = rif_transfers = 0
+    for page in range(3):
+        die, message = _die_with_page(path, seed=60 + page, page=page)
+        die.advance_time(35.0)
+        result = path.read(die, 0, 0, page, page_key=page + 1)
+        assert result.success
+        sentinel_transfers += result.stats.transfers
+
+        rif_die = FlashDie(blocks=1, pages_per_block=3, page_bits=code.n,
+                           seed=60 + page)
+        rng = np.random.default_rng(60 + page)
+        msg = rng.integers(0, 2, pipeline.message_bits, dtype=np.uint8)
+        rif_die.program(0, 0, page, pipeline.prepare(msg, page_key=page + 1))
+        rif_die.advance_time(35.0)
+        rif = RifReadPath(pipeline, OdearEngine(ReadRetryPredictor(code)))
+        rif_result = rif.read(rif_die, 0, 0, page, page_key=page + 1)
+        assert rif_result.success
+        rif_transfers += rif_result.stats.transfers
+
+    assert sentinel_transfers > rif_transfers
+
+
+def test_path_validation(pipeline):
+    with pytest.raises(ConfigError):
+        SentinelReadPath(pipeline, max_retries=0)

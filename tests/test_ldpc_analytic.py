@@ -1,0 +1,89 @@
+"""Closed-form syndrome statistics vs Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ldpc import SyndromeStatistics
+from repro.ldpc.syndrome import pruned_syndrome_weight
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return SyndromeStatistics(n_checks=64, row_weight=36)
+
+
+def test_q_zero_at_zero_rber(stats):
+    assert stats.check_unsatisfied_probability(0.0) == 0.0
+    assert stats.expected_weight(0.0) == 0.0
+
+
+def test_q_saturates_at_half(stats):
+    assert stats.check_unsatisfied_probability(0.5) == pytest.approx(0.5)
+    assert stats.expected_weight(0.5) == pytest.approx(stats.n_checks / 2)
+
+
+def test_q_monotone(stats):
+    qs = [stats.check_unsatisfied_probability(p) for p in np.linspace(0, 0.5, 20)]
+    assert all(b >= a for a, b in zip(qs, qs[1:]))
+
+
+def test_gallager_small_p_approximation(stats):
+    """For small p, q ~ w*p."""
+    p = 1e-5
+    assert stats.check_unsatisfied_probability(p) == pytest.approx(
+        stats.row_weight * p, rel=0.01
+    )
+
+
+def test_invert_weight_roundtrip(stats):
+    for rber in (0.001, 0.0085, 0.02):
+        w = stats.expected_weight(rber)
+        assert stats.invert_weight(w) == pytest.approx(rber, rel=1e-9)
+
+
+def test_invert_weight_saturation(stats):
+    assert stats.invert_weight(stats.n_checks) == 0.5
+
+
+def test_threshold_for_rber_is_expected_weight(stats):
+    rho = stats.threshold_for_rber(0.0085)
+    assert rho == round(stats.expected_weight(0.0085))
+
+
+def test_prob_weight_exceeds_monotone_in_rber(stats):
+    rho = stats.threshold_for_rber(0.0085)
+    probs = [stats.prob_weight_exceeds(rho, p) for p in (0.002, 0.0085, 0.02)]
+    assert probs[0] < probs[1] < probs[2]
+    # at the threshold point the comparator fires about half the time
+    assert 0.2 < probs[1] < 0.8
+
+
+def test_analytic_matches_monte_carlo(code):
+    stats = SyndromeStatistics.pruned_for(code)
+    rng = np.random.default_rng(0)
+    for rber in (0.004, 0.01):
+        weights = [
+            pruned_syndrome_weight(code, (rng.random(code.n) < rber).astype(np.uint8))
+            for _ in range(300)
+        ]
+        assert np.mean(weights) == pytest.approx(
+            stats.expected_weight(rber), rel=0.15
+        )
+
+
+def test_constructors_for_code(code):
+    pruned = SyndromeStatistics.pruned_for(code)
+    full = SyndromeStatistics.full_for(code)
+    assert pruned.n_checks == code.t
+    assert full.n_checks == code.m
+    assert pruned.row_weight == full.row_weight == code.c
+
+
+def test_validation(stats):
+    with pytest.raises(ConfigError):
+        SyndromeStatistics(n_checks=0, row_weight=4)
+    with pytest.raises(ConfigError):
+        stats.check_unsatisfied_probability(0.7)
+    with pytest.raises(ConfigError):
+        stats.invert_weight(-1)

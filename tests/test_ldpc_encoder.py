@@ -1,0 +1,67 @@
+"""Systematic encoder: valid codewords, message recovery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.ldpc import SystematicEncoder
+
+
+def test_encoded_words_satisfy_all_checks(code, encoder):
+    rng = np.random.default_rng(1)
+    for _ in range(5):
+        msg = rng.integers(0, 2, encoder.k_effective, dtype=np.uint8)
+        assert code.is_codeword(encoder.encode(msg))
+
+
+def test_rank_at_most_m_and_k_consistent(code, encoder):
+    assert encoder.rank <= code.m
+    assert encoder.k_effective == code.n - encoder.rank
+    assert encoder.k_effective >= code.k  # dependent rows only add freedom
+
+
+def test_encoding_is_linear(code, encoder):
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, 2, encoder.k_effective, dtype=np.uint8)
+    b = rng.integers(0, 2, encoder.k_effective, dtype=np.uint8)
+    assert np.array_equal(
+        encoder.encode(a) ^ encoder.encode(b), encoder.encode(a ^ b)
+    )
+
+
+def test_zero_message_gives_zero_codeword(encoder):
+    msg = np.zeros(encoder.k_effective, dtype=np.uint8)
+    assert encoder.encode(msg).sum() == 0
+
+
+def test_message_roundtrip(encoder):
+    rng = np.random.default_rng(3)
+    msg = rng.integers(0, 2, encoder.k_effective, dtype=np.uint8)
+    word = encoder.encode(msg)
+    assert np.array_equal(encoder.extract_message(word), msg)
+
+
+def test_distinct_messages_give_distinct_codewords(encoder):
+    rng = np.random.default_rng(4)
+    a = rng.integers(0, 2, encoder.k_effective, dtype=np.uint8)
+    b = a.copy()
+    b[0] ^= 1
+    assert not np.array_equal(encoder.encode(a), encoder.encode(b))
+
+
+def test_random_codeword_deterministic(code, encoder):
+    w1 = encoder.random_codeword(seed=9)
+    w2 = encoder.random_codeword(seed=9)
+    assert np.array_equal(w1, w2)
+    assert code.is_codeword(w1)
+
+
+def test_wrong_message_size_rejected(encoder):
+    with pytest.raises(CodecError):
+        encoder.encode(np.zeros(3, dtype=np.uint8))
+
+
+def test_info_positions_disjoint_from_pivots(code, encoder):
+    info = set(encoder.info_positions.tolist())
+    assert len(info) == encoder.k_effective
+    assert max(info) < code.n

@@ -1,0 +1,54 @@
+"""tECC latency model (Table I: 1 to 20 us)."""
+
+import pytest
+
+from repro.config import EccConfig
+from repro.errors import ConfigError
+from repro.ldpc import EccLatencyModel
+
+
+@pytest.fixture()
+def model():
+    return EccLatencyModel(EccConfig())
+
+
+def test_latency_bounds(model):
+    ecc = model.ecc
+    assert model.latency_us(0.0) == ecc.t_ecc_min
+    assert model.latency_us(ecc.correction_capability) == ecc.t_ecc_max
+    assert model.latency_us(0.2) == ecc.t_ecc_max
+
+
+def test_latency_monotone(model):
+    values = [model.latency_us(r) for r in (0.0, 0.002, 0.005, 0.008, 0.01)]
+    assert values == sorted(values)
+
+
+def test_failed_decode_costs_full_budget(model):
+    assert model.latency_us(0.0001, failed=True) == model.ecc.t_ecc_max
+
+
+def test_iterations_saturate_at_cap(model):
+    assert model.iterations(0.0) == 1.0
+    assert model.iterations(1.0 * model.ecc.correction_capability) == 20.0
+    assert model.iterations(0.1) == 20.0
+
+
+def test_iterations_slow_then_fast(model):
+    """Power-law growth: below half the capability the decoder stays cheap
+    (Fig. 3b's long flat region)."""
+    half = model.iterations(model.ecc.correction_capability / 2)
+    assert half < 5.0
+
+
+def test_latency_range_spans_20x(model):
+    """SecIII-B3: decoding latency varies up to 20x with RBER."""
+    ratio = model.latency_us(0.0085) / model.latency_us(0.0)
+    assert ratio == pytest.approx(20.0)
+
+
+def test_validation(model):
+    with pytest.raises(ConfigError):
+        EccLatencyModel(growth_exponent=0.0)
+    with pytest.raises(ConfigError):
+        model.iterations(-0.1)

@@ -1,0 +1,82 @@
+"""QC-LDPC construction invariants."""
+
+import numpy as np
+import pytest
+
+from repro.config import LdpcCodeConfig
+from repro.errors import CodecError
+from repro.ldpc import QcLdpcCode
+
+
+def test_dimensions(code):
+    cfg = code.config
+    assert code.n == cfg.block_cols * cfg.circulant_size
+    assert code.m == cfg.block_rows * cfg.circulant_size
+    assert code.k == code.n - code.m
+
+
+def test_regular_degrees(code):
+    h = code.dense_h
+    assert (h.sum(axis=1) == code.c).all()   # row weight = c
+    assert (h.sum(axis=0) == code.r).all()   # column weight = r
+
+
+def test_check_vars_matches_dense(code):
+    h = code.dense_h
+    for check in range(0, code.m, 17):
+        dense_vars = set(np.nonzero(h[check])[0])
+        assert dense_vars == set(code.check_vars[check])
+
+
+def test_var_edges_consistent_with_check_vars(code):
+    flat_vars = code.check_vars.ravel()
+    for var in range(0, code.n, 53):
+        for edge in code.var_edges[var]:
+            assert flat_vars[edge] == var
+
+
+def test_first_block_row_has_nontrivial_shifts(code):
+    """The rearrangement optimisation needs nonzero shifts in block row 0."""
+    assert (code.shifts[0, 1:] > 0).any()
+
+
+def test_girth_at_least_six(code):
+    """No 4-cycles: no two variables share two checks."""
+    h = code.dense_h.astype(np.int64)
+    overlap = h.T @ h  # (n, n): shared checks per variable pair
+    np.fill_diagonal(overlap, 0)
+    assert overlap.max() <= 1
+
+
+def test_girth_property_holds_at_larger_scale():
+    code = QcLdpcCode(LdpcCodeConfig(circulant_size=128))
+    # analytic 4-cycle condition: (i1-i2)*(j1-j2) != 0 mod t
+    t = code.t
+    for di in range(1, code.r):
+        for dj in range(1, code.c):
+            assert (di * dj) % t != 0
+
+
+def test_syndrome_of_zero_word_is_zero(code):
+    assert code.syndrome_weight(np.zeros(code.n, dtype=np.uint8)) == 0
+    assert code.is_codeword(np.zeros(code.n, dtype=np.uint8))
+
+
+def test_syndrome_of_single_error_has_column_weight(code):
+    word = np.zeros(code.n, dtype=np.uint8)
+    word[137] = 1
+    assert code.syndrome_weight(word) == code.r
+
+
+def test_syndrome_linear(code):
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 2, code.n, dtype=np.uint8)
+    b = rng.integers(0, 2, code.n, dtype=np.uint8)
+    lhs = code.syndrome(a ^ b)
+    rhs = code.syndrome(a) ^ code.syndrome(b)
+    assert np.array_equal(lhs, rhs)
+
+
+def test_wrong_shape_rejected(code):
+    with pytest.raises(CodecError):
+        code.syndrome(np.zeros(code.n + 1, dtype=np.uint8))

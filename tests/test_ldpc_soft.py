@@ -1,0 +1,118 @@
+"""Soft-decision multi-read decoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.ldpc.soft import (
+    SoftReadDecoder,
+    combine_reads_llr,
+    single_read_llr_magnitude,
+)
+
+
+def _noisy_reads(code, encoder, rber, n_reads, seed):
+    """Independent senses of the same stored codeword."""
+    rng = np.random.default_rng(seed)
+    word = encoder.random_codeword(seed=seed)
+    return word, [
+        word ^ (rng.random(code.n) < rber).astype(np.uint8)
+        for _ in range(n_reads)
+    ]
+
+
+def test_single_read_llr_magnitude():
+    assert single_read_llr_magnitude(0.1) == pytest.approx(np.log(9.0))
+    with pytest.raises(CodecError):
+        single_read_llr_magnitude(0.6)
+    with pytest.raises(CodecError):
+        single_read_llr_magnitude(0.0)
+
+
+def test_combine_unanimous_reads_scales_magnitude():
+    zeros = np.zeros(8, dtype=np.uint8)
+    ones = np.ones(8, dtype=np.uint8)
+    mag = single_read_llr_magnitude(0.01)
+    llr3 = combine_reads_llr([zeros, zeros, zeros], 0.01)
+    assert np.allclose(llr3, 3 * mag)
+    llr_mixed = combine_reads_llr([zeros, ones, zeros], 0.01)
+    assert np.allclose(llr_mixed, mag)  # 2 zeros - 1 one
+
+
+def test_combine_split_votes_cancel():
+    zeros = np.zeros(4, dtype=np.uint8)
+    ones = np.ones(4, dtype=np.uint8)
+    llr = combine_reads_llr([zeros, ones], 0.05)
+    assert np.allclose(llr, 0.0)
+
+
+def test_combine_validation():
+    with pytest.raises(CodecError):
+        combine_reads_llr([], 0.01)
+    with pytest.raises(CodecError):
+        combine_reads_llr([np.zeros((2, 2))], 0.01)
+
+
+def test_soft_recovers_beyond_hard_capability(code64, encoder64):
+    """At an RBER where single-read hard decoding almost always fails,
+    5 combined reads must decode reliably — the core soft-sensing claim."""
+    rber = 0.014
+    soft = SoftReadDecoder(code64, channel_p=rber)
+    hard_ok = soft_ok = 0
+    trials = 6
+    for seed in range(trials):
+        word, reads = _noisy_reads(code64, encoder64, rber, 5, 300 + seed)
+        hard_ok += soft.decoder.decode(reads[0]).success
+        result = soft.decode_reads(reads)
+        if result.success and np.array_equal(result.bits, word):
+            soft_ok += 1
+    assert hard_ok <= 2
+    assert soft_ok >= 5
+
+
+def test_more_reads_monotone_helpful(code64, encoder64):
+    rber = 0.02
+    soft = SoftReadDecoder(code64, channel_p=rber)
+    successes = {}
+    for n_reads in (1, 7):
+        ok = 0
+        for seed in range(5):
+            word, reads = _noisy_reads(code64, encoder64, rber, n_reads,
+                                       500 + seed)
+            result = soft.decode_reads(reads)
+            ok += result.success and np.array_equal(result.bits, word)
+        successes[n_reads] = ok
+    assert successes[7] > successes[1]
+
+
+def test_decode_reads_shape_validation(code64):
+    soft = SoftReadDecoder(code64)
+    with pytest.raises(CodecError):
+        soft.decode_reads([np.zeros(3, dtype=np.uint8)])
+
+
+def test_majority_residual_closed_form(code64):
+    soft = SoftReadDecoder(code64)
+    # 3-read majority at p: 3p^2(1-p) + p^3
+    p = 0.1
+    expected = 3 * p**2 * (1 - p) + p**3
+    assert soft.expected_effective_rber(p, 3) == pytest.approx(expected)
+    # more reads always reduce the residual
+    assert (soft.expected_effective_rber(p, 5)
+            < soft.expected_effective_rber(p, 3)
+            < soft.expected_effective_rber(p, 1))
+    with pytest.raises(CodecError):
+        soft.expected_effective_rber(p, 0)
+
+
+def test_decode_llr_consistent_with_hard(code64, encoder64):
+    """decode() and decode_llr() with hard LLRs must agree bit-for-bit."""
+    word, reads = _noisy_reads(code64, encoder64, 0.004, 1, 42)
+    dec = SoftReadDecoder(code64, channel_p=0.004).decoder
+    hard = dec.decode(reads[0])
+    mag = single_read_llr_magnitude(0.004)
+    llr = np.where(reads[0] == 0, mag, -mag)
+    soft = dec.decode_llr(llr)
+    assert hard.success == soft.success
+    assert np.array_equal(hard.bits, soft.bits)
+    assert hard.iterations == soft.iterations

@@ -1,0 +1,88 @@
+"""Syndrome pruning and codeword rearrangement (SecV)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.ldpc.syndrome import (
+    pruned_syndrome,
+    pruned_syndrome_weight,
+    pruned_syndrome_weight_rearranged,
+    rearrange_codeword,
+    restore_codeword,
+    syndrome,
+    syndrome_weight,
+)
+
+
+def _random_word(code, seed):
+    return np.random.default_rng(seed).integers(0, 2, code.n, dtype=np.uint8)
+
+
+def test_pruned_syndrome_is_prefix_of_full(code):
+    word = _random_word(code, 0)
+    full = syndrome(code, word)
+    pruned = pruned_syndrome(code, word)
+    assert np.array_equal(pruned, full[: code.t])
+
+
+def test_pruned_weight_leq_full_weight(code):
+    for seed in range(5):
+        word = _random_word(code, seed)
+        assert pruned_syndrome_weight(code, word) <= syndrome_weight(code, word)
+
+
+def test_rearrange_roundtrip(code):
+    word = _random_word(code, 1)
+    assert np.array_equal(restore_codeword(code, rearrange_codeword(code, word)), word)
+
+
+def test_rearrange_is_permutation(code):
+    word = _random_word(code, 2)
+    rearranged = rearrange_codeword(code, word)
+    assert sorted(rearranged.tolist()) == sorted(word.tolist())
+    assert not np.array_equal(rearranged, word)  # shifts are non-trivial
+
+
+def test_hardware_fast_path_equals_reference(code, encoder):
+    """The on-die XOR-of-segments computation on the rearranged layout must
+    equal the H-based pruned syndrome on the original layout — the central
+    correctness claim of SecV-B."""
+    rng = np.random.default_rng(3)
+    for rber in (0.0, 0.001, 0.01, 0.1):
+        word = encoder.random_codeword(seed=int(rber * 10000))
+        noisy = word ^ (rng.random(code.n) < rber).astype(np.uint8)
+        reference = pruned_syndrome_weight(code, noisy)
+        on_die = pruned_syndrome_weight_rearranged(
+            code, rearrange_codeword(code, noisy)
+        )
+        assert on_die == reference
+
+
+def test_codeword_has_zero_pruned_weight(code, encoder):
+    word = encoder.random_codeword(seed=11)
+    assert pruned_syndrome_weight(code, word) == 0
+    assert pruned_syndrome_weight_rearranged(
+        code, rearrange_codeword(code, word)
+    ) == 0
+
+
+def test_weight_grows_with_rber(code):
+    rng = np.random.default_rng(4)
+    weights = []
+    for rber in (0.001, 0.005, 0.02):
+        ws = [
+            pruned_syndrome_weight(
+                code, (rng.random(code.n) < rber).astype(np.uint8)
+            )
+            for _ in range(30)
+        ]
+        weights.append(np.mean(ws))
+    assert weights[0] < weights[1] < weights[2]
+
+
+def test_shape_validation(code):
+    with pytest.raises(CodecError):
+        rearrange_codeword(code, np.zeros(7, dtype=np.uint8))
+    with pytest.raises(CodecError):
+        pruned_syndrome(code, np.zeros(code.n - 1, dtype=np.uint8))

@@ -1,0 +1,140 @@
+"""Behavioural flash die: program/read/retry/swift-read."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GeometryError
+from repro.nand.chip import FlashCommand, FlashDie
+from repro.nand.randomizer import Randomizer
+
+
+@pytest.fixture()
+def die():
+    return FlashDie(blocks=4, pages_per_block=6, page_bits=2048, planes=2, seed=1)
+
+
+def _program_random(die, plane=0, block=0, page=0, seed=0):
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, die.page_bits, dtype=np.uint8)
+    die.program(plane, block, page, bits)
+    return bits
+
+
+def test_fresh_read_is_nearly_error_free(die):
+    bits = _program_random(die)
+    result = die.read(0, 0, 0)
+    assert result.n_bit_errors < die.page_bits * 0.001
+    assert result.command is FlashCommand.READ
+    assert np.sum(result.bits != bits) == result.n_bit_errors
+
+
+def test_errors_grow_with_retention(die):
+    _program_random(die)
+    fresh = die.read(0, 0, 0).true_rber
+    die.advance_time(30.0)
+    aged = die.read(0, 0, 0).true_rber
+    assert aged > fresh * 5
+
+
+def test_errors_grow_with_wear(die):
+    _program_random(die, block=0)
+    die.set_block_pe_cycles(0, 1, 3000)
+    _program_random(die, block=1, page=0)
+    die.advance_time(20.0)
+    fresh_block = die.read(0, 0, 0).true_rber
+    worn_block = die.read(0, 1, 0).true_rber
+    assert worn_block > fresh_block
+
+
+def test_read_retry_reduces_errors_on_aged_page(die):
+    _program_random(die)
+    die.advance_time(45.0)
+    default = die.read(0, 0, 0)
+    best_retry = min(
+        die.read_retry(0, 0, 0, level).true_rber
+        for level in range(1, len(die.retry_table) + 1)
+    )
+    assert best_retry < default.true_rber
+
+
+def test_swift_read_beats_default_on_aged_page(die):
+    _program_random(die)
+    die.advance_time(45.0)
+    default = die.read(0, 0, 0)
+    swift = die.swift_read(0, 0, 0)
+    assert swift.true_rber < default.true_rber * 0.6
+    assert swift.senses == 2
+    assert swift.command is FlashCommand.SWIFT_READ
+
+
+def test_swift_read_offsets_negative_under_retention(die):
+    _program_random(die, page=1)
+    die.advance_time(40.0)
+    swift = die.swift_read(0, 0, 1)
+    assert all(off < 0 for off in swift.vref_offsets.values())
+
+
+def test_page_buffer_holds_last_sense(die):
+    _program_random(die)
+    die.read(0, 0, 0)
+    buf = die.page_buffer(0)
+    assert buf.shape == (die.page_bits,)
+    with pytest.raises(GeometryError):
+        die.page_buffer(1)  # plane 1 never sensed
+
+
+def test_page_types_interleave(die):
+    types = [die.page_type(p).name for p in range(6)]
+    assert types == ["LSB", "CSB", "MSB", "LSB", "CSB", "MSB"]
+
+
+def test_erase_drops_pages_and_bumps_wear(die):
+    _program_random(die)
+    die.erase(0, 0)
+    assert die.block_pe_cycles(0, 0) == 1
+    with pytest.raises(GeometryError):
+        die.read(0, 0, 0)
+
+
+def test_reading_unprogrammed_page_raises(die):
+    with pytest.raises(GeometryError):
+        die.read(0, 2, 3)
+
+
+def test_program_validates_shape(die):
+    with pytest.raises(ConfigError):
+        die.program(0, 0, 0, np.zeros(10, dtype=np.uint8))
+
+
+def test_addresses_validated(die):
+    with pytest.raises(GeometryError):
+        die.program(0, 99, 0, np.zeros(die.page_bits, dtype=np.uint8))
+    with pytest.raises(GeometryError):
+        die.set_block_pe_cycles(5, 0, 100)
+
+
+def test_time_cannot_go_backwards(die):
+    with pytest.raises(ConfigError):
+        die.advance_time(-1.0)
+
+
+def test_in_die_randomizer_roundtrip():
+    die = FlashDie(blocks=2, pages_per_block=2, page_bits=1024,
+                   randomizer=Randomizer(), seed=2)
+    rng = np.random.default_rng(3)
+    bits = rng.integers(0, 2, 1024, dtype=np.uint8)
+    die.program(0, 0, 0, bits)
+    result = die.read(0, 0, 0)
+    assert np.sum(result.bits != bits) == result.n_bit_errors
+    # the stored (scrambled) image differs from the plaintext
+    stored = die._pages[(0, 0, 0)].scrambled_bits
+    assert not np.array_equal(stored, bits)
+
+
+def test_planes_are_independent(die):
+    a = _program_random(die, plane=0, seed=10)
+    b = _program_random(die, plane=1, seed=20)
+    ra = die.read(0, 0, 0)
+    rb = die.read(1, 0, 0)
+    assert np.mean(ra.bits == a) > 0.99
+    assert np.mean(rb.bits == b) > 0.99

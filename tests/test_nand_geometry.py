@@ -1,0 +1,75 @@
+"""Physical addressing math."""
+
+import pytest
+
+from repro.config import NandGeometry
+from repro.errors import GeometryError
+from repro.nand.geometry import AddressMapper, PageAddress
+
+
+@pytest.fixture()
+def mapper():
+    return AddressMapper(NandGeometry(
+        channels=2, dies_per_channel=3, planes_per_die=2,
+        blocks_per_plane=4, pages_per_block=5,
+    ))
+
+
+def test_ppn_roundtrip_exhaustive(mapper):
+    g = mapper.geometry
+    seen = set()
+    for ppn in range(g.total_pages):
+        addr = mapper.address(ppn)
+        assert mapper.ppn(addr) == ppn
+        assert addr not in seen
+        seen.add(addr)
+    assert len(seen) == g.total_pages
+
+
+def test_stripe_order_walks_channels_first(mapper):
+    """Consecutive ppns must hit different channels before repeating one —
+    that is what gives sequential reads their parallelism."""
+    g = mapper.geometry
+    channels = [mapper.address(ppn).channel for ppn in range(g.channels)]
+    assert sorted(channels) == list(range(g.channels))
+
+
+def test_stripe_order_then_dies(mapper):
+    g = mapper.geometry
+    first_round = [mapper.address(p) for p in range(g.channels * g.dies_per_channel)]
+    # within the first channels*dies pages every (channel, die) pair appears once
+    pairs = {(a.channel, a.die) for a in first_round}
+    assert len(pairs) == g.channels * g.dies_per_channel
+
+
+def test_plane_index_roundtrip(mapper):
+    g = mapper.geometry
+    seen = set()
+    for ch in range(g.channels):
+        for die in range(g.dies_per_channel):
+            for pl in range(g.planes_per_die):
+                idx = mapper.plane_index(ch, die, pl)
+                assert mapper.plane_from_index(idx) == (ch, die, pl)
+                seen.add(idx)
+    assert seen == set(range(g.total_planes))
+
+
+def test_out_of_range_rejected(mapper):
+    with pytest.raises(GeometryError):
+        mapper.address(mapper.geometry.total_pages)
+    with pytest.raises(GeometryError):
+        mapper.ppn(PageAddress(99, 0, 0, 0, 0))
+    with pytest.raises(GeometryError):
+        mapper.plane_index(0, 0, 99)
+
+
+def test_page_address_keys():
+    addr = PageAddress(1, 2, 3, 4, 5)
+    assert addr.plane_key() == (1, 2, 3)
+    assert addr.block_key() == (1, 2, 3, 4)
+
+
+def test_page_address_ordering_is_total():
+    a = PageAddress(0, 0, 0, 0, 1)
+    b = PageAddress(0, 0, 0, 1, 0)
+    assert a < b

@@ -1,0 +1,94 @@
+"""ISPP programming model."""
+
+import numpy as np
+import pytest
+
+from repro.config import NandTimings
+from repro.errors import ConfigError
+from repro.nand.ispp import IsppConfig, IsppProgrammer
+from repro.nand.vth import TlcVthConfig
+
+
+@pytest.fixture(scope="module")
+def programmer():
+    return IsppProgrammer()
+
+
+def test_defaults_reproduce_table1_tprog(programmer):
+    """The pulse arithmetic must land on Table I's tPROG = 400 us."""
+    assert programmer.program_time_us() == pytest.approx(
+        NandTimings().t_prog, rel=0.05
+    )
+
+
+def test_defaults_reproduce_vth_sigma(programmer):
+    """The step-implied sigma must match the VTH model's programmed sigma
+    (the two models describe the same silicon)."""
+    assert programmer.final_sigma() == pytest.approx(
+        TlcVthConfig().programmed_sigma, rel=0.05
+    )
+    derived = programmer.derived_vth_config()
+    assert derived.programmed_sigma == pytest.approx(
+        programmer.final_sigma()
+    )
+
+
+def test_finer_steps_tighten_but_slow(programmer):
+    fine = IsppProgrammer(IsppConfig(step_v=0.16))
+    coarse = IsppProgrammer(IsppConfig(step_v=0.64))
+    assert fine.final_sigma() < programmer.final_sigma() < coarse.final_sigma()
+    assert fine.program_time_us() > programmer.program_time_us() > \
+        coarse.program_time_us()
+
+
+def test_verify_levels_below_means(programmer):
+    for state in range(1, 8):
+        mean = programmer.vth_config.programmed_means[state - 1]
+        assert programmer.verify_level(state) < mean
+        # the mean sits mid-overshoot: verify + step/2
+        assert programmer.verify_level(state) + programmer.config.step_v / 2 \
+            == pytest.approx(mean)
+
+
+def test_pulse_counts_monotone(programmer):
+    pulses = [programmer.expected_pulses(s) for s in range(1, 8)]
+    assert pulses == sorted(pulses)
+    assert pulses[-1] == programmer.expected_pulses()
+
+
+def test_monte_carlo_matches_analytic_sigma(programmer):
+    for state in (1, 4, 7):
+        measured = programmer.measured_sigma(state, n_cells=15000, seed=1)
+        assert measured == pytest.approx(programmer.final_sigma(), rel=0.12)
+
+
+def test_monte_carlo_means_on_target(programmer):
+    for state in (1, 7):
+        vth = programmer.program_cells(np.full(8000, state), seed=2)
+        target = programmer.vth_config.programmed_means[state - 1]
+        assert float(vth.mean()) == pytest.approx(target, abs=0.05)
+
+
+def test_all_programmed_cells_pass_verify(programmer):
+    states = np.random.default_rng(3).integers(1, 8, 5000)
+    vth = programmer.program_cells(states, seed=3)
+    verify = np.array([programmer.verify_level(s) for s in range(1, 8)])
+    assert np.all(vth >= verify[states - 1])
+
+
+def test_erased_cells_untouched(programmer):
+    vth = programmer.program_cells(np.zeros(5000, dtype=int), seed=4)
+    assert float(vth.mean()) == pytest.approx(
+        programmer.vth_config.erased_mean, abs=0.05
+    )
+
+
+def test_validation(programmer):
+    with pytest.raises(ConfigError):
+        IsppConfig(step_v=0.0)
+    with pytest.raises(ConfigError):
+        IsppConfig(pulse_noise_sigma=-1.0)
+    with pytest.raises(ConfigError):
+        programmer.verify_level(0)
+    with pytest.raises(ConfigError):
+        programmer.program_cells(np.array([9]))

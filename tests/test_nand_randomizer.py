@@ -1,0 +1,77 @@
+"""LFSR data randomizer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nand.randomizer import Randomizer
+
+
+def test_scramble_roundtrip():
+    r = Randomizer()
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, 500, dtype=np.uint8)
+    assert np.array_equal(r.descramble(r.scramble(bits, 7), 7), bits)
+
+
+def test_different_pages_get_different_keystreams():
+    r = Randomizer()
+    a = r.keystream_bits(1, 256)
+    b = r.keystream_bits(2, 256)
+    assert not np.array_equal(a, b)
+
+
+def test_keystream_deterministic_and_cached():
+    r = Randomizer()
+    a = r.keystream_bits(5, 128)
+    b = r.keystream_bits(5, 128)
+    assert np.array_equal(a, b)
+    # a shorter request must be a prefix of the cached stream
+    c = r.keystream_bits(5, 64)
+    assert np.array_equal(c, a[:64])
+
+
+def test_keystream_is_balanced():
+    """Randomization must spread 0/1 roughly evenly — the property Swift-
+    Read and RP depend on."""
+    r = Randomizer()
+    ks = r.keystream_bits(42, 8192)
+    assert abs(float(ks.mean()) - 0.5) < 0.03
+
+
+def test_keystream_no_short_period():
+    r = Randomizer()
+    ks = r.keystream_bits(1, 4096)
+    for period in (8, 16, 32, 64):
+        assert not np.array_equal(ks[:-period], ks[period:])
+
+
+def test_constant_data_becomes_balanced():
+    r = Randomizer()
+    zeros = np.zeros(4096, dtype=np.uint8)
+    scrambled = r.scramble(zeros, 3)
+    assert abs(float(scrambled.mean()) - 0.5) < 0.05
+
+
+def test_base_seed_validation():
+    with pytest.raises(ConfigError):
+        Randomizer(base_seed=0)
+    with pytest.raises(ConfigError):
+        Randomizer(base_seed=-5)
+
+
+def test_negative_length_rejected():
+    with pytest.raises(ConfigError):
+        Randomizer().keystream_bits(1, -1)
+
+
+def test_scramble_error_positions_preserved():
+    """XOR scrambling commutes with bit errors: flipping stored bits and
+    descrambling flips the same positions of the plaintext."""
+    r = Randomizer()
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 2, 1024, dtype=np.uint8)
+    stored = r.scramble(data, 9)
+    flips = (rng.random(1024) < 0.01).astype(np.uint8)
+    recovered = r.descramble(stored ^ flips, 9)
+    assert np.array_equal(recovered ^ data, flips)

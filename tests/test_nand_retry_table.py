@@ -1,0 +1,53 @@
+"""Vendor retry tables."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nand.retry_table import RetryTable
+
+
+def test_level_zero_is_identity():
+    table = RetryTable()
+    assert all(off == 0.0 for off in table.step(0).offsets)
+
+
+def test_levels_shift_progressively_down():
+    table = RetryTable(n_steps=5, step_v=0.1)
+    prev = 0.0
+    for level in range(1, 6):
+        offsets = table.step(level).offsets
+        # boundaries 2..7 shift strictly further down each level
+        assert offsets[1] < prev
+        prev = offsets[1]
+
+
+def test_lowest_boundary_shifts_less():
+    """Erased-state creep goes the other way, so VR1 moves half as far."""
+    step = RetryTable(step_v=0.1).step(3)
+    assert abs(step.offsets[0]) < abs(step.offsets[1])
+
+
+def test_offset_map_keys_are_one_based():
+    step = RetryTable(n_boundaries=7).step(1)
+    assert sorted(step.offset_map()) == list(range(1, 8))
+
+
+def test_len_and_iteration():
+    table = RetryTable(n_steps=4)
+    assert len(table) == 4
+    assert len(list(table)) == 4
+
+
+def test_out_of_range_level_rejected():
+    table = RetryTable(n_steps=3)
+    with pytest.raises(ConfigError):
+        table.step(4)
+    with pytest.raises(ConfigError):
+        table.step(-1)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        RetryTable(n_steps=0)
+    with pytest.raises(ConfigError):
+        RetryTable(n_boundaries=0)

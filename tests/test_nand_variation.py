@@ -1,0 +1,77 @@
+"""Process-variation model: determinism and statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import ReliabilityConfig
+from repro.nand.variation import (
+    VariationModel,
+    _hash_to_unit,
+    _unit_to_standard_normal,
+)
+
+
+@pytest.fixture()
+def model():
+    return VariationModel(ReliabilityConfig(), seed=3)
+
+
+def test_block_factor_deterministic(model):
+    key = (1, 2, 3, 4)
+    assert model.block_factor(key) == model.block_factor(key)
+
+
+def test_block_factor_varies_across_blocks(model):
+    factors = {model.block_factor((0, 0, 0, b)) for b in range(50)}
+    assert len(factors) == 50
+
+
+def test_block_factor_depends_on_seed():
+    a = VariationModel(ReliabilityConfig(), seed=1).block_factor((0, 0, 0, 0))
+    b = VariationModel(ReliabilityConfig(), seed=2).block_factor((0, 0, 0, 0))
+    assert a != b
+
+
+def test_factors_are_lognormal_with_median_one(model):
+    factors = [model.block_factor((0, 0, 0, b)) for b in range(4000)]
+    logs = np.log(factors)
+    sigma = ReliabilityConfig().block_variation_sigma
+    assert abs(np.median(logs)) < 0.02
+    assert np.std(logs) == pytest.approx(sigma, rel=0.1)
+
+
+def test_page_factor_smaller_spread_than_block(model):
+    blocks = np.log([model.block_factor((0, 0, 0, b)) for b in range(2000)])
+    pages = np.log([model.page_factor((0, 0, 0, 0), p) for p in range(2000)])
+    assert np.std(pages) < np.std(blocks)
+
+
+def test_hash_to_unit_in_open_interval():
+    values = [_hash_to_unit(5, i) for i in range(1000)]
+    assert all(0.0 < v < 1.0 for v in values)
+    # should look uniform
+    assert abs(np.mean(values) - 0.5) < 0.03
+
+
+def test_inverse_normal_accuracy():
+    # spot checks against known quantiles
+    assert _unit_to_standard_normal(0.5) == pytest.approx(0.0, abs=1e-8)
+    assert _unit_to_standard_normal(0.975) == pytest.approx(1.959964, abs=1e-5)
+    assert _unit_to_standard_normal(0.01) == pytest.approx(-2.326348, abs=1e-5)
+
+
+def test_inverse_normal_symmetry():
+    for u in (0.001, 0.05, 0.3):
+        assert _unit_to_standard_normal(u) == pytest.approx(
+            -_unit_to_standard_normal(1 - u), abs=1e-7
+        )
+
+
+def test_block_factors_array_deterministic(model):
+    a = model.block_factors_array(10, stream=1)
+    b = model.block_factors_array(10, stream=1)
+    assert np.array_equal(a, b)
+    c = model.block_factors_array(10, stream=2)
+    assert not np.array_equal(a, c)

@@ -1,0 +1,145 @@
+"""TLC threshold-voltage model: Gray code, sensing, retention physics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nand.vth import (
+    PageType,
+    TLC_GRAY_CODE,
+    TlcVthConfig,
+    TlcVthModel,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TlcVthModel()
+
+
+def test_gray_code_adjacent_states_differ_by_one_bit():
+    for a, b in zip(TLC_GRAY_CODE, TLC_GRAY_CODE[1:]):
+        assert sum(x != y for x, y in zip(a, b)) == 1
+
+
+def test_gray_code_states_unique():
+    assert len(set(TLC_GRAY_CODE)) == 8
+
+
+def test_page_types_partition_boundaries():
+    """The 2-3-2 split: every boundary VR1..VR7 belongs to exactly one type."""
+    all_bounds = sorted(
+        b for ptype in PageType for b in ptype.boundaries
+    )
+    assert all_bounds == list(range(1, 8))
+    assert len(PageType.LSB.boundaries) == 2
+    assert len(PageType.CSB.boundaries) == 3
+    assert len(PageType.MSB.boundaries) == 2
+
+
+def test_boundaries_are_exactly_the_gray_transitions():
+    """Boundary k separates states k-1 and k; the page type owning it must
+    be the one whose bit flips there."""
+    for ptype in PageType:
+        for b in ptype.boundaries:
+            lo, hi = TLC_GRAY_CODE[b - 1], TLC_GRAY_CODE[b]
+            assert lo[ptype.bit_index] != hi[ptype.bit_index]
+
+
+def test_fresh_rber_is_tiny(model):
+    for ptype in PageType:
+        assert model.page_rber(ptype) < 1e-4
+
+
+def test_rber_grows_with_retention(model):
+    for ptype in PageType:
+        fresh = model.page_rber(ptype, retention_months=0.0)
+        aged = model.page_rber(ptype, retention_months=1.0)
+        older = model.page_rber(ptype, retention_months=2.0)
+        assert fresh < aged < older
+
+
+def test_rber_grows_with_pe(model):
+    vals = [model.page_rber(PageType.CSB, pe_cycles=pe, retention_months=0.5)
+            for pe in (0, 1000, 3000)]
+    assert vals == sorted(vals)
+
+
+def test_optimal_offset_recovers_most_errors(model):
+    """Reading an aged page at the per-boundary optimal offsets must give a
+    much lower RBER than the default voltages — the whole premise of
+    read-retry."""
+    pe, months = 1000, 1.0
+    for ptype in PageType:
+        offsets = {
+            b: model.optimal_vref_offset(b, pe, months)
+            for b in ptype.boundaries
+        }
+        default = model.page_rber(ptype, pe, months)
+        tuned = model.page_rber(ptype, pe, months, vref_offsets=offsets)
+        assert tuned < default * 0.55
+
+
+def test_optimal_offsets_are_negative_under_retention(model):
+    """Retention leaks charge downward, so corrections shift VREF down."""
+    for b in range(2, 8):
+        assert model.optimal_vref_offset(b, 500, 1.0) < 0.0
+
+
+def test_ones_fraction_matches_expected_when_fresh(model):
+    for ptype in PageType:
+        got = model.ones_fraction(ptype)
+        expected = model.expected_ones_fraction(ptype)
+        assert got == pytest.approx(expected, abs=5e-4)
+
+
+def test_ones_fraction_drifts_with_retention(model):
+    """Charge loss moves cells below the boundaries, changing the measured
+    ones-count — the signal Swift-Read inverts."""
+    for ptype in PageType:
+        fresh = model.ones_fraction(ptype, retention_months=0.0)
+        aged = model.ones_fraction(ptype, retention_months=1.5)
+        assert abs(aged - fresh) > 0.005
+
+
+def test_sense_matches_analytic_rber(model):
+    rng_seed = 9
+    n = 60000
+    states, vth = model.sample_cells(n, pe_cycles=1000, retention_months=1.0,
+                                     seed=rng_seed)
+    for ptype in PageType:
+        sensed = model.sense(vth, ptype)
+        truth = model.true_bits(states, ptype)
+        measured = float(np.mean(sensed != truth))
+        analytic = model.page_rber(ptype, 1000, 1.0)
+        assert measured == pytest.approx(analytic, rel=0.25, abs=2e-4)
+
+
+def test_sample_cells_respects_given_states(model):
+    states = np.zeros(100, dtype=int)
+    got_states, vth = model.sample_cells(100, states=states, seed=1)
+    assert np.array_equal(got_states, states)
+    # erased-state cells sit far below the programmed states
+    assert vth.mean() < -1.0
+
+
+def test_state_params_validation(model):
+    with pytest.raises(ConfigError):
+        model.state_params(pe_cycles=-1)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        TlcVthConfig(programmed_means=(1.0, 2.0))
+    with pytest.raises(ConfigError):
+        TlcVthConfig(programmed_means=(7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0))
+
+
+def test_state_read_probabilities_sum_to_one(model):
+    params = model.state_params(500, 0.5)
+    for state in range(8):
+        probs = model.state_read_probabilities(
+            state, list(model.default_vrefs), params
+        )
+        assert sum(probs) == pytest.approx(1.0, abs=1e-9)
+        assert len(probs) == 8

@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) on the LDPC codec invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LdpcCodeConfig
+from repro.ldpc import MinSumDecoder, QcLdpcCode, SystematicEncoder
+from repro.ldpc.syndrome import (
+    pruned_syndrome_weight,
+    pruned_syndrome_weight_rearranged,
+    rearrange_codeword,
+    restore_codeword,
+)
+
+# one small code shared by all properties (hypothesis re-runs are cheap)
+_CODE = QcLdpcCode(LdpcCodeConfig(circulant_size=37))
+_ENCODER = SystematicEncoder(_CODE)
+_DECODER = MinSumDecoder(_CODE)
+
+
+def _word_from_seed(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 2, _CODE.n, dtype=np.uint8)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_rearrangement_is_involution_up_to_restore(seed):
+    word = _word_from_seed(seed)
+    assert np.array_equal(restore_codeword(_CODE, rearrange_codeword(_CODE, word)), word)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_fast_path_weight_always_matches(seed):
+    word = _word_from_seed(seed)
+    assert pruned_syndrome_weight(_CODE, word) == pruned_syndrome_weight_rearranged(
+        _CODE, rearrange_codeword(_CODE, word)
+    )
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_every_encoded_message_is_a_codeword(seed):
+    msg = np.random.default_rng(seed).integers(
+        0, 2, _ENCODER.k_effective, dtype=np.uint8
+    )
+    assert _CODE.is_codeword(_ENCODER.encode(msg))
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_message_extraction_inverts_encoding(seed):
+    msg = np.random.default_rng(seed).integers(
+        0, 2, _ENCODER.k_effective, dtype=np.uint8
+    )
+    assert np.array_equal(_ENCODER.extract_message(_ENCODER.encode(msg)), msg)
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_decoder_corrects_few_errors_exactly(seed, n_errors):
+    """Any codeword with up to 3 scattered errors must decode back to
+    itself (the code's guaranteed region at this size)."""
+    word = _ENCODER.random_codeword(seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    positions = rng.choice(_CODE.n, size=n_errors, replace=False)
+    noisy = word.copy()
+    noisy[positions] ^= 1
+    result = _DECODER.decode(noisy)
+    assert result.success
+    assert np.array_equal(result.bits, word)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_syndrome_weight_invariant_under_codeword_addition(seed):
+    """S(x + c) == S(x) for any codeword c — the linearity RP's calibration
+    depends on (error pattern alone determines the syndrome)."""
+    word = _word_from_seed(seed)
+    codeword = _ENCODER.random_codeword(seed=seed + 1)
+    assert _CODE.syndrome_weight(word) == _CODE.syndrome_weight(word ^ codeword)

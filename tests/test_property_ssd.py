@@ -1,0 +1,90 @@
+"""Property-based tests on the SSD layer: plans, FTL, traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NandTimings, SSDConfig
+from repro.ssd.ecc_model import EccOutcomeModel
+from repro.ssd.ftl import PageMapFtl
+from repro.ssd.retry_policies import PhaseKind, PolicyName, make_policy
+from repro.units import KIB
+from repro.workloads.trace import IORequest
+
+_TIMINGS = NandTimings()
+
+
+@given(
+    st.sampled_from([p.value for p in PolicyName]),
+    st.floats(min_value=0.0, max_value=0.05),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=120, deadline=None)
+def test_any_plan_is_well_formed(policy_name, rber, seed):
+    """Whatever the policy and outcome draws, a read plan must be a valid
+    alternation ending in a transfer, with consistent counters."""
+    model = EccOutcomeModel(seed=seed)
+    policy = make_policy(policy_name, _TIMINGS, model)
+    plan = policy.plan_read(rber)
+    assert plan.phases, "every read plan has at least one phase"
+    assert plan.phases[0].kind is PhaseKind.SENSE
+    assert plan.phases[-1].kind is PhaseKind.TRANSFER
+    # the last transfer is always a correctable page going to the host
+    assert plan.phases[-1].tag == "COR"
+    # phase alternation: SENSE and TRANSFER strictly interleave
+    for a, b in zip(plan.phases, plan.phases[1:]):
+        assert a.kind is not b.kind
+    assert plan.senses >= 1
+    assert plan.uncorrectable_transfers <= sum(
+        1 for p in plan.phases if p.kind is PhaseKind.TRANSFER
+    )
+    assert plan.total_plane_time() > 0
+    assert plan.total_channel_time() > 0
+    if not plan.retried:
+        assert len(plan.phases) == 2
+
+
+@given(
+    st.floats(min_value=0.0, max_value=0.05),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_rif_plans_never_ship_predicted_failures(rber, seed):
+    model = EccOutcomeModel(seed=seed)
+    policy = make_policy("RiFSSD", _TIMINGS, model)
+    plan = policy.plan_read(rber)
+    if plan.in_die_retry and plan.uncorrectable_transfers:
+        # only the rare residual decode failure of the re-read may ship a
+        # bad page, and then a reactive round must follow
+        assert len(plan.phases) > 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60),
+       st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_ftl_mapping_is_always_a_bijection(lpns, salt):
+    """After any write sequence, distinct logical pages resolve to distinct
+    physical pages."""
+    config = SSDConfig().scaled(
+        channels=1, dies_per_channel=1, planes_per_die=2,
+        blocks_per_plane=8, pages_per_block=8,
+    )
+    ftl = PageMapFtl(config)
+    for i, lpn in enumerate(lpns):
+        ftl.write(lpn % ftl.user_pages, now_us=float(i + salt))
+    seen = {}
+    for lpn in range(min(ftl.user_pages, 64)):
+        ppn = ftl.current_ppn(lpn)
+        assert ppn not in seen, f"lpn {lpn} and {seen[ppn]} share ppn {ppn}"
+        seen[ppn] = lpn
+
+
+@given(
+    st.integers(min_value=0, max_value=2**30),
+    st.integers(min_value=1, max_value=512 * KIB),
+)
+@settings(max_examples=60, deadline=None)
+def test_request_page_math(offset, size):
+    req = IORequest(0.0, "R", offset, size)
+    pages = req.lpns()
+    assert pages[0] * 16 * KIB <= offset
+    assert (pages[-1] + 1) * 16 * KIB >= offset + size
+    assert len(pages) <= size // (16 * KIB) + 2

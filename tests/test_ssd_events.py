@@ -1,0 +1,109 @@
+"""Discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ssd.events import EventQueue, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.after(5.0, lambda: fired.append("b"))
+    sim.after(1.0, lambda: fired.append("a"))
+    sim.after(9.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.after(3.0, lambda i=i: fired.append(i))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(("first", sim.now))
+        sim.after(2.0, lambda: fired.append(("second", sim.now)))
+
+    sim.after(1.0, first)
+    sim.run()
+    assert fired == [("first", 1.0), ("second", 3.0)]
+
+
+def test_run_until_bounds_time():
+    sim = Simulator()
+    fired = []
+    sim.after(1.0, lambda: fired.append(1))
+    sim.after(100.0, lambda: fired.append(2))
+    sim.run(until=50.0)
+    assert fired == [1]
+    assert sim.now == 50.0
+    # resuming processes the rest
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_stop_condition():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.after(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(stop_condition=lambda: len(fired) >= 3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_method():
+    sim = Simulator()
+    fired = []
+
+    def stopper():
+        fired.append("x")
+        sim.stop()
+
+    sim.after(1.0, stopper)
+    sim.after(2.0, lambda: fired.append("never"))
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.after(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.after(1.0, loop)
+
+    sim.after(1.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_event_queue_peek():
+    q = EventQueue()
+    assert q.peek_time() is None
+    q.push(4.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.peek_time() == 2.0
+    assert len(q) == 2

@@ -1,0 +1,143 @@
+"""Host drivers: closed-loop and timed replay."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.errors import SimulationError
+from repro.ssd.host import ClosedLoopHost, TimedReplayHost
+from repro.ssd.simulator import SSDSimulator
+from repro.workloads import generate
+from repro.workloads.trace import Trace
+
+
+def _ssd():
+    return SSDSimulator(small_test_config(), policy="SSDzero", seed=3)
+
+
+def test_closed_loop_completes_all_requests():
+    trace = generate("Ali121", n_requests=50, user_pages=2000, seed=1)
+    ssd = _ssd()
+    host = ClosedLoopHost(ssd, trace, queue_depth=8)
+    host.start()
+    ssd.run()
+    assert host.done
+    assert host.completed == 50
+
+
+def test_closed_loop_respects_max_requests():
+    trace = generate("Ali121", n_requests=50, user_pages=2000, seed=1)
+    ssd = _ssd()
+    host = ClosedLoopHost(ssd, trace, queue_depth=4, max_requests=10)
+    host.start()
+    ssd.run()
+    assert host.completed == 10
+
+
+def test_closed_loop_queue_depth_bounds_outstanding():
+    trace = generate("Ali121", n_requests=30, user_pages=2000, seed=2)
+    ssd = _ssd()
+    host = ClosedLoopHost(ssd, trace, queue_depth=3)
+    host.start()
+    assert host._outstanding == 3
+    ssd.run()
+    assert host._outstanding == 0
+
+
+def test_deeper_queue_not_slower():
+    """More outstanding requests must not reduce throughput."""
+    trace = generate("Ali124", n_requests=120, user_pages=2000, seed=3)
+
+    def bw(depth):
+        ssd = SSDSimulator(small_test_config(), policy="SSDzero", seed=3)
+        return ssd.run_trace(trace, queue_depth=depth).io_bandwidth_mb_s
+
+    assert bw(32) >= bw(1) * 1.5
+
+
+def test_timed_replay_respects_timestamps():
+    trace = generate("Ali2", n_requests=40, user_pages=2000, seed=4)
+    ssd = _ssd()
+    host = TimedReplayHost(ssd, trace)
+    host.start()
+    ssd.run()
+    assert host.done
+    assert ssd.sim.now >= trace[-1].timestamp_us
+
+
+def test_timed_replay_time_scale():
+    trace = generate("Ali2", n_requests=40, user_pages=2000, seed=4)
+    ssd = _ssd()
+    host = TimedReplayHost(ssd, trace, time_scale=3.0)
+    host.start()
+    ssd.run()
+    assert ssd.sim.now >= 3.0 * trace[-1].timestamp_us
+
+
+def test_empty_trace_rejected():
+    ssd = _ssd()
+    with pytest.raises(SimulationError):
+        ClosedLoopHost(ssd, Trace([]))
+    with pytest.raises(SimulationError):
+        TimedReplayHost(ssd, Trace([]))
+    with pytest.raises(SimulationError):
+        TimedReplayHost(ssd, generate("Ali2", n_requests=5, user_pages=2000),
+                        time_scale=0.0)
+
+
+def test_multiqueue_host_completes_everything():
+    from repro.ssd.host import MultiQueueHost
+
+    trace = generate("Ali121", n_requests=60, user_pages=2000, seed=8)
+    ssd = _ssd()
+    host = MultiQueueHost(ssd, trace, n_queues=4, queue_depth=2)
+    host.start()
+    ssd.run()
+    assert host.done
+    assert host.completed == 60
+
+
+def test_multiqueue_fairness():
+    """Round-robin partitioning with equal depths must finish each queue's
+    share — no queue starves."""
+    from repro.ssd.host import MultiQueueHost
+
+    trace = generate("Ali124", n_requests=80, user_pages=2000, seed=9)
+    ssd = _ssd()
+    host = MultiQueueHost(ssd, trace, n_queues=4, queue_depth=2)
+    host.start()
+    ssd.run()
+    counts = host.per_queue_completed()
+    assert len(counts) == 4
+    assert min(counts) == max(counts) == 20
+
+
+def test_multiqueue_matches_single_queue_throughput():
+    """At equal aggregate depth, many shallow queues should achieve similar
+    bandwidth to one deep queue (the device parallelism is the same)."""
+    trace = generate("Ali124", n_requests=150, user_pages=2000, seed=10)
+    from repro.ssd.host import MultiQueueHost
+
+    single = _ssd()
+    ClosedLoopHost(single, trace, queue_depth=16).start()
+    single.run()
+    single.metrics.elapsed_us = single.sim.now
+
+    multi = _ssd()
+    MultiQueueHost(multi, trace, n_queues=4, queue_depth=4).start()
+    multi.run()
+    multi.metrics.elapsed_us = multi.sim.now
+
+    assert multi.metrics.io_bandwidth_mb_s() == pytest.approx(
+        single.metrics.io_bandwidth_mb_s(), rel=0.2
+    )
+
+
+def test_multiqueue_validation():
+    from repro.ssd.host import MultiQueueHost
+
+    ssd = _ssd()
+    with pytest.raises(SimulationError):
+        MultiQueueHost(ssd, Trace([]), n_queues=2)
+    trace = generate("Ali2", n_requests=5, user_pages=2000, seed=1)
+    with pytest.raises(SimulationError):
+        MultiQueueHost(ssd, trace, n_queues=0)

@@ -1,0 +1,66 @@
+"""Metrics: bandwidth, percentiles, channel usage arithmetic."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ssd.metrics import ChannelUsage, SimMetrics, percentile
+
+
+def test_bandwidth_arithmetic():
+    m = SimMetrics()
+    m.host_read_bytes = 1_000_000
+    m.host_write_bytes = 500_000
+    m.elapsed_us = 1000.0
+    assert m.io_bandwidth_mb_s() == pytest.approx(1500.0)
+    assert m.read_bandwidth_mb_s() == pytest.approx(1000.0)
+
+
+def test_bandwidth_requires_elapsed_time():
+    with pytest.raises(SimulationError):
+        SimMetrics().io_bandwidth_mb_s()
+
+
+def test_retry_rate_and_extra_senses():
+    m = SimMetrics()
+    m.page_reads = 10
+    m.retried_reads = 3
+    m.total_senses = 14
+    assert m.retry_rate() == pytest.approx(0.3)
+    assert m.average_extra_senses() == pytest.approx(0.4)
+    assert SimMetrics().retry_rate() == 0.0
+
+
+def test_percentile_nearest_rank():
+    values = sorted([10.0, 20.0, 30.0, 40.0])
+    assert percentile(values, 50) == 20.0
+    assert percentile(values, 100) == 40.0
+    assert percentile(values, 1) == 10.0
+    with pytest.raises(SimulationError):
+        percentile([], 50)
+    with pytest.raises(SimulationError):
+        percentile(values, 150)
+
+
+def test_latency_percentile_and_cdf():
+    m = SimMetrics()
+    m.read_latencies_us = [float(i) for i in range(1, 101)]
+    assert m.read_latency_percentile(99) == 99.0
+    cdf = m.read_latency_cdf(points=10)
+    assert len(cdf) == 10
+    lats = [x for x, _ in cdf]
+    fracs = [y for _, y in cdf]
+    assert lats == sorted(lats)
+    assert fracs[-1] == pytest.approx(1.0)
+
+
+def test_channel_usage_fractions():
+    usage = ChannelUsage(cor=50, uncor=20, write=10, gc=5, eccwait=5, idle=10)
+    fr = usage.fractions()
+    assert sum(fr.values()) == pytest.approx(1.0)
+    assert fr["COR"] == pytest.approx(0.5)
+    assert fr["ECCWAIT"] == pytest.approx(0.05)
+
+
+def test_channel_usage_empty_interval_rejected():
+    with pytest.raises(SimulationError):
+        ChannelUsage(0, 0, 0, 0, 0, 0).fractions()

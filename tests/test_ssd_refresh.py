@@ -1,0 +1,101 @@
+"""Refresh-period planner."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ssd.refresh import RefreshPlanner
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return RefreshPlanner()
+
+
+def test_retry_probability_monotone_in_period(planner):
+    values = [planner.cold_retry_probability(1000, r) for r in (5, 15, 30, 60)]
+    assert values == sorted(values)
+    assert 0.0 <= values[0] < values[-1] <= 1.0
+
+
+def test_retry_probability_monotone_in_wear(planner):
+    values = [planner.cold_retry_probability(pe, 30) for pe in (0, 500, 1000, 2000)]
+    assert values == sorted(values)
+
+
+def test_retry_probability_limits(planner):
+    # refreshing far faster than any crossing -> essentially no retries
+    assert planner.cold_retry_probability(0, 0.5) < 0.01
+    # never refreshing a worn device -> almost every cold read retries
+    assert planner.cold_retry_probability(2000, 2000.0) > 0.9
+
+
+def test_monthly_refresh_matches_simulator_regime(planner):
+    """At 2K P/E with monthly refresh the planner's cold-retry probability
+    must match the retry incidence the event simulator produces (~0.8 of
+    cold reads)."""
+    p = planner.cold_retry_probability(2000, 30.0)
+    assert 0.6 < p < 0.9
+
+
+def test_write_overhead_scales_inverse_with_period(planner):
+    w10 = planner.refresh_write_overhead(10)
+    w20 = planner.refresh_write_overhead(20)
+    assert w10 == pytest.approx(2 * w20, rel=1e-6)
+
+
+def test_read_overhead_zero_for_rif_style_cost(planner):
+    """RiF retries cost no channel transfers -> no read overhead term."""
+    assert planner.read_retry_overhead(2000, 30, retry_channel_cost=0.0) == 0.0
+    assert planner.read_retry_overhead(2000, 30, retry_channel_cost=1.0) > 0.1
+
+
+def test_optimum_shifts_earlier_with_wear(planner):
+    fresh = planner.optimal_refresh_days(0)
+    worn = planner.optimal_refresh_days(2000)
+    assert worn.refresh_days <= fresh.refresh_days
+    assert worn.total_overhead >= fresh.total_overhead
+
+
+def test_rif_pushes_optimum_out(planner):
+    """With free retries (RiF) the only cost is refresh writes, so the
+    optimal period is the longest candidate; with expensive reactive
+    retries the optimum is much shorter."""
+    reactive = planner.optimal_refresh_days(2000, retry_channel_cost=1.5)
+    rif = planner.optimal_refresh_days(2000, retry_channel_cost=0.0)
+    assert rif.refresh_days > reactive.refresh_days
+    assert rif.total_overhead < reactive.total_overhead
+
+
+def test_assessment_is_consistent(planner):
+    a = planner.assess(1000, 30.0)
+    assert a.total_overhead == pytest.approx(
+        a.refresh_write_overhead + a.read_retry_overhead
+        + a.endurance_overhead
+    )
+    assert a.refresh_days == 30.0
+
+
+def test_endurance_term_dominates_aggressive_refresh(planner):
+    """Refreshing every 2 days burns most of a 3K P/E budget over the
+    service life — the real reason fleets refresh monthly, not channel
+    bandwidth."""
+    aggressive = planner.endurance_overhead(2.0)
+    monthly = planner.endurance_overhead(30.0)
+    assert aggressive > 10 * monthly
+    assert aggressive > 0.25
+    assert monthly < 0.05
+    with pytest.raises(ConfigError):
+        planner.endurance_overhead(0.0)
+
+
+def test_validation(planner):
+    with pytest.raises(ConfigError):
+        planner.cold_retry_probability(1000, 0.0)
+    with pytest.raises(ConfigError):
+        planner.refresh_write_overhead(-1)
+    with pytest.raises(ConfigError):
+        planner.read_retry_overhead(0, 30, cold_read_ratio=2.0)
+    with pytest.raises(ConfigError):
+        planner.optimal_refresh_days(0, candidates=())
+    with pytest.raises(ConfigError):
+        RefreshPlanner(quadrature_points=3)

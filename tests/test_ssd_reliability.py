@@ -1,0 +1,60 @@
+"""SSD-side reliability glue."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ssd.reliability import PageReliabilitySampler
+from repro.units import US_PER_DAY
+
+
+@pytest.fixture()
+def sampler():
+    return PageReliabilitySampler(pe_cycles=1000, seed=4)
+
+
+def test_cold_age_deterministic_and_bounded(sampler):
+    refresh = sampler.reliability.refresh_days
+    ages = [sampler.cold_age_days(lpn) for lpn in range(500)]
+    assert all(0 <= a < refresh for a in ages)
+    assert sampler.cold_age_days(7) == sampler.cold_age_days(7)
+    # roughly uniform: mean near refresh/2
+    assert sum(ages) / len(ages) == pytest.approx(refresh / 2, rel=0.15)
+
+
+def test_warm_age_from_timestamps(sampler):
+    assert sampler.warm_age_days(0.0, US_PER_DAY) == pytest.approx(1.0)
+    assert sampler.warm_age_days(5.0, 5.0) == 0.0
+    with pytest.raises(ConfigError):
+        sampler.warm_age_days(10.0, 5.0)
+
+
+def test_rber_wiring_monotone(sampler):
+    key = (0, 0, 0, 1)
+    young = sampler.rber(key, 0, retention_days=0.1)
+    old = sampler.rber(key, 0, retention_days=25.0)
+    assert old > young
+
+
+def test_rber_read_disturb(sampler):
+    key = (0, 0, 0, 1)
+    quiet = sampler.rber(key, 0, 5.0, read_count=0)
+    hammered = sampler.rber(key, 0, 5.0, read_count=2_000_000)
+    assert hammered > quiet
+
+
+def test_exceeds_capability(sampler):
+    cap = sampler.ecc.correction_capability
+    assert sampler.exceeds_capability(cap * 1.01)
+    assert not sampler.exceeds_capability(cap * 0.99)
+
+
+def test_wear_raises_rber():
+    fresh = PageReliabilitySampler(pe_cycles=0, seed=4)
+    worn = PageReliabilitySampler(pe_cycles=2000, seed=4)
+    key = (0, 0, 0, 2)
+    assert worn.rber(key, 0, 10.0) > fresh.rber(key, 0, 10.0)
+
+
+def test_negative_pe_rejected():
+    with pytest.raises(ConfigError):
+        PageReliabilitySampler(pe_cycles=-1)

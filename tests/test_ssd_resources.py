@@ -1,0 +1,160 @@
+"""Serial resources, head gating, and the ECC buffer (ECCWAIT source)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ssd.events import Simulator
+from repro.ssd.resources import EccEngine, Job, SerialResource
+
+
+def test_jobs_run_serially_fifo():
+    sim = Simulator()
+    res = SerialResource(sim, "r")
+    done = []
+    for i in range(3):
+        res.submit(Job(duration=10.0, tag="T",
+                       on_complete=lambda i=i: done.append((i, sim.now))))
+    sim.run()
+    assert done == [(0, 10.0), (1, 20.0), (2, 30.0)]
+    assert res.busy_time_by_tag["T"] == 30.0
+    assert res.jobs_completed == 3
+
+
+def test_busy_time_split_by_tag():
+    sim = Simulator()
+    res = SerialResource(sim, "r")
+    res.submit(Job(duration=5.0, tag="A"))
+    res.submit(Job(duration=7.0, tag="B"))
+    res.submit(Job(duration=3.0, tag="A"))
+    sim.run()
+    assert res.busy_time_by_tag == {"A": 8.0, "B": 7.0}
+    assert res.total_busy_time() == 15.0
+
+
+def test_gated_job_waits_and_blocked_time_recorded():
+    sim = Simulator()
+    res = SerialResource(sim, "r")
+    gate = {"open": False}
+    done = []
+
+    res.submit(Job(duration=2.0, tag="T",
+                   can_start=lambda: gate["open"],
+                   on_complete=lambda: done.append(sim.now)))
+
+    def open_gate():
+        gate["open"] = True
+        res.kick()
+
+    sim.after(10.0, open_gate)
+    sim.run()
+    assert done == [12.0]
+    assert res.blocked_time == pytest.approx(10.0)
+
+
+def test_gate_blocks_queue_head_only():
+    """Head-of-line blocking is intentional: FIFO order is preserved."""
+    sim = Simulator()
+    res = SerialResource(sim, "r")
+    gate = {"open": False}
+    order = []
+    res.submit(Job(duration=1.0, tag="gated",
+                   can_start=lambda: gate["open"],
+                   on_complete=lambda: order.append("gated")))
+    res.submit(Job(duration=1.0, tag="free",
+                   on_complete=lambda: order.append("free")))
+
+    def open_gate():
+        gate["open"] = True
+        res.kick()
+
+    sim.after(5.0, open_gate)
+    sim.run()
+    assert order == ["gated", "free"]
+
+
+def test_negative_duration_rejected():
+    sim = Simulator()
+    res = SerialResource(sim, "r")
+    with pytest.raises(SimulationError):
+        res.submit(Job(duration=-1.0, tag="T"))
+
+
+def test_finalize_closes_open_block():
+    sim = Simulator()
+    res = SerialResource(sim, "r")
+    res.submit(Job(duration=1.0, tag="T", can_start=lambda: False))
+    sim.after(7.0, lambda: None)
+    sim.run()
+    res.finalize()
+    assert res.blocked_time == pytest.approx(7.0)
+
+
+def test_ecc_slots_reserve_release():
+    sim = Simulator()
+    ecc = EccEngine(sim, "ecc", buffer_pages=2)
+    assert ecc.can_reserve()
+    ecc.reserve_slot()
+    ecc.reserve_slot()
+    assert not ecc.can_reserve()
+    ecc.release_slot()
+    assert ecc.can_reserve()
+    with pytest.raises(SimulationError):
+        ecc.release_slot()
+        ecc.release_slot()
+
+
+def test_ecc_overflow_rejected():
+    sim = Simulator()
+    ecc = EccEngine(sim, "ecc", buffer_pages=1)
+    ecc.reserve_slot()
+    with pytest.raises(SimulationError):
+        ecc.reserve_slot()
+
+
+def test_decode_releases_slot_and_notifies():
+    sim = Simulator()
+    ecc = EccEngine(sim, "ecc", buffer_pages=1)
+    released = []
+    ecc.subscribe_on_release(lambda: released.append(sim.now))
+    ecc.reserve_slot()
+    done = []
+    ecc.submit_decode(4.0, "COR", lambda: done.append(sim.now))
+    sim.run()
+    assert done == [4.0]
+    assert released == [4.0]
+    assert ecc.slots_in_use == 0
+
+
+def test_full_buffer_stalls_channel_until_decode_done():
+    """End-to-end ECCWAIT: a slow decode holding the last slot delays the
+    channel's next transfer by exactly the remaining decode time."""
+    sim = Simulator()
+    channel = SerialResource(sim, "ch")
+    ecc = EccEngine(sim, "ecc", buffer_pages=1)
+    ecc.subscribe_on_release(channel.kick)
+    finished = []
+
+    def transfer(label, decode_us):
+        def on_start():
+            ecc.reserve_slot()
+
+        def on_complete():
+            ecc.submit_decode(decode_us, "COR",
+                              lambda: finished.append((label, sim.now)))
+
+        channel.submit(Job(duration=10.0, tag="COR", on_start=on_start,
+                           on_complete=on_complete,
+                           can_start=ecc.can_reserve))
+
+    transfer("slow", 30.0)   # transfer 0-10, decode 10-40
+    transfer("next", 1.0)    # transfer must wait until t=40
+    sim.run()
+    assert finished == [("slow", 40.0), ("next", 51.0)]
+    channel.finalize()
+    assert channel.blocked_time == pytest.approx(30.0)
+
+
+def test_min_buffer_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        EccEngine(sim, "e", buffer_pages=0)

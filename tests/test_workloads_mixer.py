@@ -1,0 +1,102 @@
+"""Trace manipulation utilities."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.units import KIB
+from repro.workloads import generate
+from repro.workloads.mixer import filter_ops, merge, repeat, scale_rate, slice_time
+from repro.workloads.stats import characterize
+from repro.workloads.trace import IORequest, Trace
+
+PAGE = 16 * KIB
+
+
+def _mini(name, ts):
+    return Trace([IORequest(t, "R", 0, PAGE) for t in ts], name=name)
+
+
+def test_merge_interleaves_by_time():
+    a = _mini("a", [0.0, 10.0])
+    b = _mini("b", [5.0, 15.0])
+    merged = merge([a, b])
+    assert [r.timestamp_us for r in merged] == [0.0, 5.0, 10.0, 15.0]
+    assert merged.name == "a+b"
+    assert len(merged) == 4
+
+
+def test_merge_preserves_request_mix():
+    a = generate("Ali2", n_requests=200, user_pages=4000, seed=1)
+    b = generate("Ali124", n_requests=200, user_pages=4000, seed=2)
+    merged = merge([a, b], name="mixed")
+    stats = characterize(merged)
+    spec_mix = (0.27 + 0.96) / 2
+    assert stats.read_ratio == pytest.approx(spec_mix, abs=0.05)
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(TraceError):
+        merge([])
+
+
+def test_scale_rate_compresses_time():
+    trace = _mini("t", [0.0, 100.0])
+    fast = scale_rate(trace, 4.0)
+    assert fast[1].timestamp_us == pytest.approx(25.0)
+    slow = scale_rate(trace, 0.5)
+    assert slow[1].timestamp_us == pytest.approx(200.0)
+    with pytest.raises(TraceError):
+        scale_rate(trace, 0.0)
+
+
+def test_slice_time_window_and_rebase():
+    trace = _mini("t", [0.0, 10.0, 20.0, 30.0])
+    window = slice_time(trace, 10.0, 30.0)
+    assert [r.timestamp_us for r in window] == [0.0, 10.0]
+    raw = slice_time(trace, 10.0, 30.0, rebase=False)
+    assert [r.timestamp_us for r in raw] == [10.0, 20.0]
+    with pytest.raises(TraceError):
+        slice_time(trace, 5.0, 5.0)
+
+
+def test_filter_ops():
+    trace = Trace([
+        IORequest(0.0, "R", 0, PAGE),
+        IORequest(1.0, "W", PAGE, PAGE),
+        IORequest(2.0, "R", 0, PAGE),
+    ])
+    reads = filter_ops(trace, "R")
+    writes = filter_ops(trace, "W")
+    assert len(reads) == 2 and all(r.is_read for r in reads)
+    assert len(writes) == 1 and not writes[0].is_read
+    with pytest.raises(TraceError):
+        filter_ops(trace, "X")
+
+
+def test_repeat_concatenates_with_offset():
+    trace = _mini("t", [0.0, 50.0])
+    tripled = repeat(trace, 3, gap_us=10.0)
+    assert len(tripled) == 6
+    times = [r.timestamp_us for r in tripled]
+    assert times == sorted(times)
+    assert times[2] == pytest.approx(60.0)  # second copy starts after gap
+    with pytest.raises(TraceError):
+        repeat(trace, 0)
+    with pytest.raises(TraceError):
+        repeat(Trace([]), 2)
+
+
+def test_mixed_trace_runs_in_simulator():
+    from repro.config import small_test_config
+    from repro.ssd import SSDSimulator
+
+    a = generate("Ali2", n_requests=60, user_pages=2000, seed=3)
+    b = generate("Sys0", n_requests=60, user_pages=2000, seed=4)
+    mixed = merge([a, b], name="tenants")
+    ssd = SSDSimulator(small_test_config(), policy="RiFSSD",
+                       pe_cycles=1000, seed=5)
+    result = ssd.run_trace(mixed)
+    assert result.io_bandwidth_mb_s > 0
+    total = (len(result.metrics.read_latencies_us)
+             + len(result.metrics.write_latencies_us))
+    assert total == 120

@@ -1,0 +1,63 @@
+"""Trace characterisation (the Table-II measurements)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.units import KIB
+from repro.workloads.stats import characterize
+from repro.workloads.trace import IORequest, Trace
+
+PAGE = 16 * KIB
+
+
+def test_read_ratio():
+    t = Trace([
+        IORequest(0, "R", 0, PAGE),
+        IORequest(1, "R", PAGE, PAGE),
+        IORequest(2, "W", 0, PAGE),
+        IORequest(3, "W", 0, PAGE),
+    ])
+    assert characterize(t).read_ratio == 0.5
+
+
+def test_cold_read_uses_whole_trace_knowledge():
+    """A read *before* the write of the same page is still not cold — the
+    paper counts pages 'not updated at all during workload simulation'."""
+    t = Trace([
+        IORequest(0, "R", 0, PAGE),       # page 0 written later -> not cold
+        IORequest(1, "R", 5 * PAGE, PAGE),  # page 5 never written -> cold
+        IORequest(2, "W", 0, PAGE),
+    ])
+    stats = characterize(t)
+    assert stats.cold_read_ratio == 0.5
+
+
+def test_multipage_read_cold_only_if_all_pages_cold():
+    t = Trace([
+        IORequest(0, "R", 0, 2 * PAGE),   # touches pages 0,1; 1 is written
+        IORequest(1, "W", PAGE, PAGE),
+    ])
+    assert characterize(t).cold_read_ratio == 0.0
+
+
+def test_footprint_and_sizes():
+    t = Trace([
+        IORequest(0, "R", 0, 4 * PAGE),
+        IORequest(1, "W", 10 * PAGE, PAGE),
+    ])
+    stats = characterize(t)
+    assert stats.footprint_pages == 5
+    assert stats.total_bytes == 5 * PAGE
+    assert stats.avg_request_bytes == pytest.approx(2.5 * PAGE)
+
+
+def test_write_only_trace():
+    t = Trace([IORequest(0, "W", 0, PAGE)])
+    stats = characterize(t)
+    assert stats.read_ratio == 0.0
+    assert stats.cold_read_ratio == 0.0
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(TraceError):
+        characterize(Trace([]))

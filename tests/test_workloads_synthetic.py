@@ -1,0 +1,89 @@
+"""Synthetic workload generators vs the Table-II targets."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads import WORKLOADS, characterize, generate, workload_names
+from repro.workloads.synthetic import WorkloadSpec
+
+
+def test_all_eight_paper_workloads_present():
+    assert workload_names() == [
+        "Ali2", "Ali46", "Ali81", "Ali121", "Ali124", "Ali295", "Sys0", "Sys1",
+    ]
+
+
+def test_table2_targets_recorded():
+    assert WORKLOADS["Ali124"].read_ratio == 0.96
+    assert WORKLOADS["Ali124"].cold_read_ratio == 0.79
+    assert WORKLOADS["Ali2"].read_ratio == 0.27
+    assert WORKLOADS["Sys1"].cold_read_ratio == 0.83
+
+
+@pytest.mark.parametrize("name", ["Ali2", "Ali124", "Sys0"])
+def test_generated_trace_hits_targets(name):
+    spec = WORKLOADS[name]
+    trace = generate(name, n_requests=4000, user_pages=20000, seed=3)
+    stats = characterize(trace)
+    assert stats.read_ratio == pytest.approx(spec.read_ratio, abs=0.03)
+    assert stats.cold_read_ratio == pytest.approx(spec.cold_read_ratio, abs=0.04)
+
+
+def test_generation_deterministic():
+    a = generate("Ali81", n_requests=100, user_pages=5000, seed=9)
+    b = generate("Ali81", n_requests=100, user_pages=5000, seed=9)
+    for ra, rb in zip(a, b):
+        assert ra == rb
+
+
+def test_different_seeds_differ():
+    a = generate("Ali81", n_requests=100, user_pages=5000, seed=1)
+    b = generate("Ali81", n_requests=100, user_pages=5000, seed=2)
+    assert any(ra != rb for ra, rb in zip(a, b))
+
+
+def test_requests_stay_inside_user_space():
+    trace = generate("Sys1", n_requests=2000, user_pages=3000, seed=4)
+    assert trace.max_lpn() < 3000
+
+
+def test_timestamps_nondecreasing_poisson():
+    trace = generate("Ali46", n_requests=500, user_pages=5000, seed=5)
+    times = [r.timestamp_us for r in trace]
+    assert times == sorted(times)
+    # mean inter-arrival near the spec
+    spec = WORKLOADS["Ali46"]
+    mean_gap = times[-1] / len(times)
+    assert mean_gap == pytest.approx(spec.mean_interarrival_us, rel=0.2)
+
+
+def test_writes_never_touch_cold_region():
+    trace = generate("Ali2", n_requests=3000, user_pages=10000, seed=6)
+    spec = WORKLOADS["Ali2"]
+    hot_base = 10000 - max(4, int(10000 * spec.hot_fraction))
+    for req in trace:
+        if not req.is_read:
+            assert req.lpns()[0] >= hot_base
+
+
+def test_custom_spec():
+    spec = WorkloadSpec("custom", read_ratio=1.0, cold_read_ratio=1.0)
+    trace = generate(spec, n_requests=200, user_pages=5000, seed=7)
+    stats = characterize(trace)
+    assert stats.read_ratio == 1.0
+    assert stats.cold_read_ratio == 1.0
+
+
+def test_validation():
+    with pytest.raises(TraceError):
+        generate("Ali2", n_requests=0)
+    with pytest.raises(TraceError):
+        generate("Ali2", n_requests=10, user_pages=4)
+
+
+def test_spec_validation():
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError):
+        WorkloadSpec("bad", read_ratio=1.4, cold_read_ratio=0.5)
+    with pytest.raises(ConfigError):
+        WorkloadSpec("bad", read_ratio=0.5, cold_read_ratio=0.5, hot_fraction=0.0)
