@@ -6,33 +6,31 @@ channel time on mixed workloads — but unlike RiF it cannot touch the UNCOR
 waste, so it closes only a fraction of the gap.
 """
 
-from repro.config import small_test_config
-from repro.ssd import SSDSimulator
-from repro.workloads import generate
+from repro.campaign import RunSpec, run_specs
 
 WORKLOADS = ("Ali2", "Ali124")
 
 
 def test_ablation_channel_arbitration(benchmark):
-    config = small_test_config()
-    traces = {
-        name: generate(name, n_requests=350, user_pages=8000, seed=73)
+    specs = {
+        (name, policy, arb): RunSpec(
+            workload=name, policy=policy, pe_cycles=2000, seed=73,
+            n_requests=350, user_pages=8000, channel_arbitration=arb,
+        )
         for name in WORKLOADS
+        for policy in ("SWR", "RiFSSD")
+        for arb in (False, True)
     }
 
     def sweep():
-        out = {}
-        for name, trace in traces.items():
-            for policy in ("SWR", "RiFSSD"):
-                for arb in (False, True):
-                    ssd = SSDSimulator(config, policy=policy, pe_cycles=2000,
-                                       seed=73, channel_arbitration=arb)
-                    result = ssd.run_trace(trace)
-                    out[(name, policy, arb)] = (
-                        result.io_bandwidth_mb_s,
-                        result.channel_usage.fractions()["ECCWAIT"],
-                    )
-        return out
+        results = run_specs(list(specs.values()))
+        return {
+            key: (
+                results[spec].io_bandwidth_mb_s,
+                results[spec].channel_usage.fractions()["ECCWAIT"],
+            )
+            for key, spec in specs.items()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print("\nworkload  policy   arbitration  bandwidth  ECCWAIT")

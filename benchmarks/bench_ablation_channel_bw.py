@@ -8,34 +8,32 @@ oversubscribed mid-range the reactive scheme additionally stalls on failed
 decodes (ECCWAIT) that RiF never issues.
 """
 
-from dataclasses import replace
-
-from repro.config import small_test_config
-from repro.ssd import SSDSimulator
-from repro.workloads import generate
+from repro.campaign import RunSpec, run_specs
 
 #: channel GB/s and the matching per-page DMA time
 RATES = (0.6, 1.2, 2.4, 4.8)
 
 
 def test_ablation_channel_bandwidth(benchmark):
-    trace = generate("Ali124", n_requests=400, user_pages=8000, seed=14)
-    base = small_test_config()
+    specs = {}
+    for rate in RATES:
+        t_dma = 16384 / (rate * 1000.0)  # 16-KiB page over rate GB/s
+        for policy in ("SWR", "RiFSSD"):
+            specs[(policy, rate)] = RunSpec(
+                workload="Ali124", policy=policy, pe_cycles=2000, seed=14,
+                n_requests=400, user_pages=8000,
+                config_overrides={
+                    "bandwidth": {"channel_gb_per_s": rate},
+                    "timings": {"t_dma": t_dma},
+                },
+            )
 
     def sweep():
-        out = {}
-        for rate in RATES:
-            t_dma = 16384 / (rate * 1000.0)  # 16-KiB page over rate GB/s
-            config = replace(
-                base,
-                bandwidth=replace(base.bandwidth, channel_gb_per_s=rate),
-                timings=replace(base.timings, t_dma=t_dma),
-            )
-            for policy in ("SWR", "RiFSSD"):
-                ssd = SSDSimulator(config, policy=policy, pe_cycles=2000,
-                                   seed=14)
-                out[(policy, rate)] = ssd.run_trace(trace).io_bandwidth_mb_s
-        return out
+        results = run_specs(list(specs.values()))
+        return {
+            key: results[spec].io_bandwidth_mb_s
+            for key, spec in specs.items()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print("\nchannel GB/s  SWR (MB/s)  RiF (MB/s)  RiF gain")

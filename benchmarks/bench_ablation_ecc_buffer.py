@@ -6,30 +6,33 @@ sensitive (deeper buffers hide failed-decode latency) while RiF barely
 cares — its decodes are short because doomed pages never reach the decoder.
 """
 
-from dataclasses import replace
-
-from repro.config import small_test_config
-from repro.ssd import SSDSimulator
-from repro.workloads import generate
+from repro.campaign import RunSpec, run_specs
 
 DEPTHS = (1, 2, 4, 8)
 
 
-def _run(policy, depth, trace):
-    base = small_test_config()
-    config = replace(base, ecc=replace(base.ecc, buffer_pages=depth))
-    ssd = SSDSimulator(config, policy=policy, pe_cycles=2000, seed=9)
-    result = ssd.run_trace(trace)
-    return (result.io_bandwidth_mb_s,
-            result.channel_usage.fractions()["ECCWAIT"])
-
-
 def test_ablation_ecc_buffer_depth(benchmark):
-    trace = generate("Ali124", n_requests=400, user_pages=8000, seed=9)
+    specs = {
+        (policy, depth): RunSpec(
+            workload="Ali124", policy=policy, pe_cycles=2000, seed=9,
+            n_requests=400, user_pages=8000,
+            config_overrides={"ecc": {"buffer_pages": depth}},
+        )
+        for policy in ("SWR", "RiFSSD")
+        for depth in DEPTHS
+    }
 
     def sweep():
+        results = run_specs(list(specs.values()))
         return {
-            policy: {depth: _run(policy, depth, trace) for depth in DEPTHS}
+            policy: {
+                depth: (
+                    results[specs[(policy, depth)]].io_bandwidth_mb_s,
+                    results[specs[(policy, depth)]]
+                    .channel_usage.fractions()["ECCWAIT"],
+                )
+                for depth in DEPTHS
+            }
             for policy in ("SWR", "RiFSSD")
         }
 

@@ -5,35 +5,36 @@ like the ideal device; reactive schemes saturate lower because their
 ceiling is effective channel bandwidth, not parallelism.
 """
 
-from repro.config import small_test_config
-from repro.ssd import SSDSimulator
-from repro.workloads import generate
+from repro.campaign import RunSpec, run_specs
 
 DEPTHS = (1, 4, 16, 64)
+POLICIES = ("SWR", "RiFSSD", "SSDzero")
 
 
 def test_ablation_queue_depth(benchmark):
-    trace = generate("Ali124", n_requests=400, user_pages=8000, seed=12)
-    config = small_test_config()
+    specs = {
+        (policy, depth): RunSpec(
+            workload="Ali124", policy=policy, pe_cycles=2000, seed=12,
+            n_requests=400, user_pages=8000, queue_depth=depth,
+        )
+        for policy in POLICIES
+        for depth in DEPTHS
+    }
 
     def sweep():
-        out = {}
-        for policy in ("SWR", "RiFSSD", "SSDzero"):
-            for depth in DEPTHS:
-                ssd = SSDSimulator(config, policy=policy, pe_cycles=2000,
-                                   seed=12)
-                out[(policy, depth)] = ssd.run_trace(
-                    trace, queue_depth=depth
-                ).io_bandwidth_mb_s
-        return out
+        results = run_specs(list(specs.values()))
+        return {
+            key: results[spec].io_bandwidth_mb_s
+            for key, spec in specs.items()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print("\npolicy    " + "".join(f"QD={d:<8d}" for d in DEPTHS))
-    for policy in ("SWR", "RiFSSD", "SSDzero"):
+    for policy in POLICIES:
         print(f"{policy:8s}  "
               + "".join(f"{results[(policy, d)]:<11.0f}" for d in DEPTHS))
 
-    for policy in ("SWR", "RiFSSD", "SSDzero"):
+    for policy in POLICIES:
         bws = [results[(policy, d)] for d in DEPTHS]
         # bandwidth grows with queue depth and saturates
         assert bws[-1] > 2.0 * bws[0]

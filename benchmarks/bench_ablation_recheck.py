@@ -5,32 +5,28 @@ recheck is pure overhead; when the voltage selector is poor (residual near
 the capability) the recheck recovers most of RiF's channel cleanliness.
 """
 
-from repro.config import small_test_config
-from repro.ssd import SSDSimulator
-from repro.ssd.ecc_model import EccOutcomeModel
-from repro.workloads import generate
-
-
-def _run(trace, recheck, retry_factor, seed=33):
-    config = small_test_config()
-    model = EccOutcomeModel(ecc=config.ecc, retry_rber_factor=retry_factor,
-                            seed=seed)
-    ssd = SSDSimulator(config, policy="RiFSSD", pe_cycles=2000, seed=seed,
-                       outcome_model=model,
-                       policy_kwargs={"recheck_reread": recheck})
-    result = ssd.run_trace(trace)
-    return result.io_bandwidth_mb_s, result.metrics.uncorrectable_transfers
+from repro.campaign import RunSpec, run_specs
 
 
 def test_ablation_reread_recheck(benchmark):
-    trace = generate("Ali124", n_requests=400, user_pages=8000, seed=33)
+    specs = {
+        (quality, recheck): RunSpec(
+            workload="Ali124", policy="RiFSSD", pe_cycles=2000, seed=33,
+            n_requests=400, user_pages=8000,
+            policy_kwargs={"recheck_reread": recheck},
+            outcome_kwargs={"retry_rber_factor": factor},
+        )
+        for quality, factor in (("good_rvs", 0.15), ("poor_rvs", 0.95))
+        for recheck in (False, True)
+    }
 
     def sweep():
-        out = {}
-        for quality, factor in (("good_rvs", 0.15), ("poor_rvs", 0.95)):
-            for recheck in (False, True):
-                out[(quality, recheck)] = _run(trace, recheck, factor)
-        return out
+        results = run_specs(list(specs.values()))
+        return {
+            key: (results[spec].io_bandwidth_mb_s,
+                  results[spec].metrics.uncorrectable_transfers)
+            for key, spec in specs.items()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print("\nRVS quality  recheck  bandwidth  uncor transfers")

@@ -5,27 +5,28 @@ the retry incidence — and with it the gap between RiF and reactive retry —
 grows with temperature even at fixed wear and fixed refresh period.
 """
 
-from repro.config import small_test_config
-from repro.ssd import SSDSimulator
-from repro.workloads import generate
+from repro.campaign import RunSpec, run_specs
 
 TEMPS_C = (25.0, 40.0, 55.0, 70.0)
 
 
 def test_ablation_operating_temperature(benchmark):
-    trace = generate("Ali124", n_requests=400, user_pages=8000, seed=18)
-    config = small_test_config()
+    specs = {
+        (policy, temp): RunSpec(
+            workload="Ali124", policy=policy, pe_cycles=1000, seed=18,
+            n_requests=400, user_pages=8000, operating_temp_c=temp,
+        )
+        for temp in TEMPS_C
+        for policy in ("SWR", "RiFSSD")
+    }
 
     def sweep():
-        out = {}
-        for temp in TEMPS_C:
-            for policy in ("SWR", "RiFSSD"):
-                ssd = SSDSimulator(config, policy=policy, pe_cycles=1000,
-                                   seed=18, operating_temp_c=temp)
-                result = ssd.run_trace(trace)
-                out[(policy, temp)] = (result.io_bandwidth_mb_s,
-                                       result.metrics.retry_rate())
-        return out
+        results = run_specs(list(specs.values()))
+        return {
+            key: (results[spec].io_bandwidth_mb_s,
+                  results[spec].metrics.retry_rate())
+            for key, spec in specs.items()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print("\ntemp  SWR bw   retry | RiF bw   retry | RiF gain")

@@ -7,28 +7,31 @@ much slack exists: RiF's advantage degrades gracefully and survives even a
 abundant.
 """
 
-from dataclasses import replace
-
-from repro.config import small_test_config
-from repro.ssd import SSDSimulator
-from repro.workloads import generate
+from repro.campaign import RunSpec, run_specs
 
 TPREDS = (0.0, 2.5, 10.0, 25.0, 60.0)
 
 
 def test_ablation_tpred(benchmark):
-    trace = generate("Ali124", n_requests=400, user_pages=8000, seed=4)
-    base = small_test_config()
+    specs = {
+        t_pred: RunSpec(
+            workload="Ali124", policy="RiFSSD", pe_cycles=2000, seed=4,
+            n_requests=400, user_pages=8000,
+            config_overrides={"timings": {"t_pred": t_pred}},
+        )
+        for t_pred in TPREDS
+    }
+    specs["SWR"] = RunSpec(
+        workload="Ali124", policy="SWR", pe_cycles=2000, seed=4,
+        n_requests=400, user_pages=8000,
+    )
 
     def sweep():
-        out = {}
-        for t_pred in TPREDS:
-            config = replace(base, timings=replace(base.timings, t_pred=t_pred))
-            ssd = SSDSimulator(config, policy="RiFSSD", pe_cycles=2000, seed=4)
-            out[t_pred] = ssd.run_trace(trace).io_bandwidth_mb_s
-        swr = SSDSimulator(base, policy="SWR", pe_cycles=2000, seed=4)
-        out["SWR"] = swr.run_trace(trace).io_bandwidth_mb_s
-        return out
+        results = run_specs(list(specs.values()))
+        return {
+            key: results[spec].io_bandwidth_mb_s
+            for key, spec in specs.items()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print("\ntPRED(us)  RiF bandwidth (MB/s)")

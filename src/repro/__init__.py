@@ -15,6 +15,8 @@ Layers (bottom-up):
   policies (SSDzero, SSDone, SENC, SWR, SWR+, RPSSD, RiFSSD).
 * :mod:`repro.workloads` — trace format, Table-II synthetic generators,
   characterisation.
+* :mod:`repro.campaign` — declarative :class:`~repro.campaign.RunSpec`
+  grids, serial/process-parallel executors, content-addressed result cache.
 * :mod:`repro.experiments` — one module per paper table/figure;
   ``python -m repro.experiments --list``.
 
@@ -28,6 +30,7 @@ Quickstart::
     print(result.io_bandwidth_mb_s, "MB/s")
 """
 
+from .campaign import ResultCache, RunSpec, grid_specs, run_specs
 from .config import (
     BandwidthConfig,
     EccConfig,
@@ -75,6 +78,10 @@ __all__ = [
     "PolicyName",
     "SimulationResult",
     "SSDSimulator",
+    "ResultCache",
+    "RunSpec",
+    "grid_specs",
+    "run_specs",
     "Trace",
     "WORKLOADS",
     "generate",

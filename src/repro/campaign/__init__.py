@@ -1,0 +1,65 @@
+"""Campaign layer: declarative run specs, parallel grid execution, and
+serialisable results for every SSD-level experiment.
+
+The repo's hottest path is the (workload x P/E x policy) evaluation sweep
+behind Figs. 6/17/18/19 and the ablation benches.  Each cell is an
+independent, fully-seeded :class:`~repro.ssd.simulator.SSDSimulator` run,
+so the sweep is embarrassingly parallel and cacheable; this package makes
+that structure explicit:
+
+* :mod:`.spec` — :class:`RunSpec`, a frozen value describing one run, with
+  a stable content hash and builders that rebuild trace + simulator from
+  the spec alone;
+* :mod:`.executor` — :class:`SerialExecutor` / :class:`ParallelExecutor`
+  and the :func:`run_specs` orchestrator (``jobs=N`` gives bit-identical
+  results to ``jobs=1``);
+* :mod:`.cache` — :class:`ResultCache`, a content-addressed on-disk store
+  (spec hash -> result JSON) that skips already-computed cells;
+* :mod:`.serialize` — exact JSON round-tripping of results;
+* :mod:`.progress` — per-cell completion and wall-clock hooks.
+"""
+
+from .cache import ResultCache
+from .executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    run_specs,
+)
+from .progress import CampaignStats, PrintProgress, ProgressHook
+from .serialize import dump_entry, load_entry, result_from_dict, result_to_dict
+from .spec import (
+    RunSpec,
+    SPEC_SCHEMA_VERSION,
+    SsdScale,
+    build_config,
+    build_simulator,
+    build_trace,
+    execute,
+    grid_specs,
+    ssd_scale,
+)
+
+__all__ = [
+    "RunSpec",
+    "SPEC_SCHEMA_VERSION",
+    "SsdScale",
+    "ssd_scale",
+    "grid_specs",
+    "build_config",
+    "build_simulator",
+    "build_trace",
+    "execute",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "run_specs",
+    "ResultCache",
+    "ProgressHook",
+    "CampaignStats",
+    "PrintProgress",
+    "dump_entry",
+    "load_entry",
+    "result_to_dict",
+    "result_from_dict",
+]

@@ -1,0 +1,63 @@
+"""Content-addressed on-disk cache of simulation results.
+
+One JSON file per computed cell, named by the spec's content hash — a
+second campaign over an overlapping grid re-runs only the cells it has
+never seen.  Entries are written atomically (temp file + rename) so an
+interrupted campaign never leaves a truncated entry; a corrupt, stale, or
+mismatched entry reads as a miss, never as a wrong result.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..errors import ReproError
+from ..ssd import SimulationResult
+from .serialize import dump_entry, load_entry
+from .spec import RunSpec
+
+
+class ResultCache:
+    """Spec-hash -> result store rooted at a directory."""
+
+    def __init__(self, root):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.content_hash()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[SimulationResult]:
+        """The cached result for ``spec``, or ``None`` on any kind of miss."""
+        path = self.path_for(spec)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            return load_entry(text, expected_spec=spec)
+        except (ReproError, ValueError, KeyError, TypeError):
+            return None  # corrupt or stale entry: recompute
+
+    def put(self, spec: RunSpec, result: SimulationResult) -> Path:
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(dump_entry(spec, result))
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def wipe(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

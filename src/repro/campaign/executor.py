@@ -1,0 +1,148 @@
+"""Campaign executors: serial and process-parallel grid execution.
+
+Every cell of a campaign is an independent, fully-seeded simulation
+(:func:`repro.campaign.spec.execute`), so the grid is embarrassingly
+parallel: :class:`ParallelExecutor` farms specs out to worker processes
+that rebuild trace and simulator from the spec alone, which makes its
+results bit-identical to :class:`SerialExecutor`'s — the scheduling order
+can never leak into a result because nothing is shared between cells.
+
+:func:`run_specs` is the one entry point most callers want: it layers the
+optional on-disk cache and progress reporting over whichever executor the
+``jobs`` count selects.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..ssd import SimulationResult
+from .cache import ResultCache
+from .progress import ProgressHook
+from .spec import RunSpec, build_trace, execute
+
+#: ``report(spec, result, elapsed_s)`` — invoked once per computed cell.
+ReportFn = Callable[[RunSpec, SimulationResult, float], None]
+
+
+def _execute_cell(spec: RunSpec) -> Tuple[RunSpec, SimulationResult, float]:
+    """Worker entry point: rebuild everything from the spec and run it."""
+    started = time.perf_counter()
+    result = execute(spec)
+    return spec, result, time.perf_counter() - started
+
+
+class SerialExecutor:
+    """Run specs one after another in this process (today's behaviour).
+
+    Traces are generated once per distinct :meth:`RunSpec.trace_key` and
+    shared across the cells that replay them — an optimisation only, since
+    regeneration is deterministic.
+    """
+
+    jobs = 1
+
+    def map(self, specs: Sequence[RunSpec],
+            report: ReportFn = None) -> Dict[RunSpec, SimulationResult]:
+        traces = {}
+        results: Dict[RunSpec, SimulationResult] = {}
+        for spec in specs:
+            key = spec.trace_key()
+            if key not in traces:
+                traces[key] = build_trace(spec)
+            started = time.perf_counter()
+            results[spec] = execute(spec, trace=traces[key])
+            if report is not None:
+                report(spec, results[spec], time.perf_counter() - started)
+        return results
+
+
+class ParallelExecutor:
+    """Fan specs out over a pool of worker processes.
+
+    Workers receive only the (picklable) spec and rebuild trace + simulator
+    locally, so results are bit-identical to a serial run regardless of
+    completion order, worker count, or which worker ran which cell.
+    """
+
+    def __init__(self, jobs: int = None):
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map(self, specs: Sequence[RunSpec],
+            report: ReportFn = None) -> Dict[RunSpec, SimulationResult]:
+        results: Dict[RunSpec, SimulationResult] = {}
+        if not specs:
+            return results
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
+            pending = {pool.submit(_execute_cell, spec) for spec in specs}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec, result, elapsed = future.result()
+                    results[spec] = result
+                    if report is not None:
+                        report(spec, result, elapsed)
+        return results
+
+
+def make_executor(jobs: Optional[int] = 1):
+    """``jobs=1`` (or ``0``/negative never allowed) -> serial; otherwise a
+    process pool with ``jobs`` workers (``None`` -> all cores)."""
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = 1,
+    cache: "ResultCache | str | os.PathLike | None" = None,
+    progress: ProgressHook = None,
+) -> Dict[RunSpec, SimulationResult]:
+    """Execute a campaign: cache lookup, (parallel) execution, cache fill.
+
+    Returns ``{spec: result}`` covering every distinct spec in ``specs``
+    (duplicates are computed once).  With a ``cache``, already-computed
+    cells are loaded instead of re-simulated and fresh cells are stored;
+    the returned results are identical either way because cached JSON
+    round-trips floats exactly.
+    """
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    unique: List[RunSpec] = list(dict.fromkeys(specs))
+    started = time.perf_counter()
+    if progress is not None:
+        progress.on_start(len(unique))
+
+    results: Dict[RunSpec, SimulationResult] = {}
+    to_run: List[RunSpec] = []
+    for spec in unique:
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[spec] = hit
+            if progress is not None:
+                progress.on_result(spec, hit, 0.0, cached=True)
+        else:
+            to_run.append(spec)
+
+    if to_run:
+        def report(spec: RunSpec, result: SimulationResult,
+                   elapsed: float) -> None:
+            if cache is not None:
+                cache.put(spec, result)
+            if progress is not None:
+                progress.on_result(spec, result, elapsed, cached=False)
+
+        results.update(make_executor(jobs).map(to_run, report))
+
+    if progress is not None:
+        progress.on_finish(time.perf_counter() - started)
+    return {spec: results[spec] for spec in unique}

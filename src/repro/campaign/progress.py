@@ -1,0 +1,81 @@
+"""Progress reporting for campaign execution.
+
+Executors call a :class:`ProgressHook` once per completed cell (whether
+computed or served from the cache) plus start/finish notifications.
+:class:`CampaignStats` aggregates those events into the numbers a caller
+usually wants (cells executed vs cached, wall clock); :class:`PrintProgress`
+additionally narrates each cell to a stream — what the CLI runner shows
+with ``--progress``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class ProgressHook:
+    """No-op base class; override any subset of the notifications."""
+
+    def on_start(self, total: int) -> None:
+        """Campaign begins; ``total`` cells will be reported."""
+
+    def on_result(self, spec, result, elapsed_s: float, cached: bool) -> None:
+        """One cell finished (``cached`` = served from the result cache)."""
+
+    def on_finish(self, elapsed_s: float) -> None:
+        """All cells reported; ``elapsed_s`` is the campaign wall clock."""
+
+
+class CampaignStats(ProgressHook):
+    """Aggregating hook: counts and wall-clock, no output."""
+
+    def __init__(self):
+        self.total = 0
+        self.executed = 0
+        self.cached = 0
+        self.wall_clock_s: Optional[float] = None
+        self._started_at: Optional[float] = None
+
+    @property
+    def completed(self) -> int:
+        return self.executed + self.cached
+
+    def on_start(self, total: int) -> None:
+        self.total = total
+        self._started_at = time.perf_counter()
+
+    def on_result(self, spec, result, elapsed_s: float, cached: bool) -> None:
+        if cached:
+            self.cached += 1
+        else:
+            self.executed += 1
+
+    def on_finish(self, elapsed_s: float) -> None:
+        self.wall_clock_s = elapsed_s
+
+
+class PrintProgress(CampaignStats):
+    """Narrate per-cell completion and the final tally to a stream."""
+
+    def __init__(self, stream: TextIO = None):
+        super().__init__()
+        self.stream = stream or sys.stderr
+
+    def on_result(self, spec, result, elapsed_s: float, cached: bool) -> None:
+        super().on_result(spec, result, elapsed_s, cached)
+        origin = "cache " if cached else f"{elapsed_s:5.2f}s"
+        print(
+            f"[campaign {self.completed:>{len(str(self.total))}d}/"
+            f"{self.total}] {spec.label():30s} {origin}",
+            file=self.stream,
+        )
+
+    def on_finish(self, elapsed_s: float) -> None:
+        super().on_finish(elapsed_s)
+        print(
+            f"[campaign] {self.executed} simulated, {self.cached} from "
+            f"cache in {elapsed_s:.1f}s",
+            file=self.stream,
+        )

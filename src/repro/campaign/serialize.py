@@ -1,0 +1,56 @@
+"""JSON (de)serialisation of campaign results.
+
+The dataclasses themselves know their dict forms
+(:meth:`SimulationResult.to_dict` and friends, added alongside this
+module); here lives the envelope format the on-disk cache stores — schema
+version + spec + result — and the exactness guarantee: Python's ``json``
+emits ``repr``-precision floats, which round-trip bit-exactly for every
+finite float, so a result loaded from JSON compares equal to the original.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ConfigError
+from ..ssd import SimulationResult
+from .spec import SPEC_SCHEMA_VERSION, RunSpec
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    return result.to_dict()
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    return SimulationResult.from_dict(data)
+
+
+def dump_entry(spec: RunSpec, result: SimulationResult) -> str:
+    """Serialise one cache entry (spec + its result) to JSON text."""
+    return json.dumps(
+        {
+            "schema": SPEC_SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "result": result_to_dict(result),
+        },
+        sort_keys=True,
+    )
+
+
+def load_entry(text: str, expected_spec: RunSpec = None) -> SimulationResult:
+    """Parse a cache entry, optionally verifying it belongs to ``spec``.
+
+    Raises :class:`ConfigError` on schema mismatch or spec mismatch — the
+    cache treats either as a miss rather than serving a wrong result.
+    """
+    data = json.loads(text)
+    if data.get("schema") != SPEC_SCHEMA_VERSION:
+        raise ConfigError(
+            f"cache entry schema {data.get('schema')!r} != "
+            f"{SPEC_SCHEMA_VERSION}"
+        )
+    if expected_spec is not None:
+        stored = RunSpec.from_dict(data["spec"])
+        if stored != expected_spec:
+            raise ConfigError("cache entry spec does not match its key")
+    return result_from_dict(data["result"])

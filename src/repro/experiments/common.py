@@ -1,15 +1,31 @@
-"""Shared helpers for the SSD-level experiments (Figs. 6, 17, 18, 19)."""
+"""Shared helpers for the SSD-level experiments (Figs. 6, 17, 18, 19).
+
+The grid machinery itself lives in :mod:`repro.campaign`; this module keeps
+the paper's evaluation constants and :func:`run_grid`, now a thin wrapper
+over the campaign layer that adds parallel execution (``jobs``), an
+optional on-disk result cache (``cache_dir``) and progress hooks without
+changing a single number: serial, parallel, and cached runs all produce
+identical results because every cell is rebuilt from its seeded spec.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from ..config import SSDConfig, small_test_config
+from ..campaign import SsdScale, grid_specs, run_specs, ssd_scale
+from ..campaign.progress import ProgressHook
 from ..errors import ConfigError
-from ..ssd import SimulationResult, SSDSimulator
-from ..workloads import generate
+from ..ssd import SimulationResult
+
+__all__ = [
+    "PE_POINTS",
+    "FIG17_POLICIES",
+    "SsdScale",
+    "ssd_scale",
+    "run_grid",
+    "geomean",
+]
 
 #: Wear points of the evaluation (SecVI-A).
 PE_POINTS: Tuple[float, ...] = (0.0, 1000.0, 2000.0)
@@ -20,74 +36,33 @@ FIG17_POLICIES: Tuple[str, ...] = (
 )
 
 
-@dataclass(frozen=True)
-class SsdScale:
-    """Workload/geometry sizing for one experiment scale."""
-
-    config: SSDConfig
-    n_requests: int
-    user_pages: int
-    queue_depth: int
-
-
-def ssd_scale(scale: str) -> SsdScale:
-    """Resolve an SSD-experiment scale name.
-
-    ``small`` finishes each (workload, policy, P/E) run in well under a
-    second; ``full`` uses a larger device slice and more requests for
-    smoother numbers.  Both keep the Table-I plane:channel bandwidth ratio.
-    """
-    if scale == "small":
-        return SsdScale(
-            config=small_test_config(),
-            n_requests=600,
-            user_pages=8_000,
-            queue_depth=64,
-        )
-    if scale == "full":
-        config = SSDConfig().scaled(
-            channels=8, dies_per_channel=4, planes_per_die=4,
-            blocks_per_plane=96, pages_per_block=128,
-        )
-        return SsdScale(
-            config=config,
-            n_requests=4_000,
-            user_pages=200_000,
-            queue_depth=128,
-        )
-    raise ConfigError(f"unknown scale {scale!r} (use 'small' or 'full')")
-
-
 def run_grid(
     workloads: Sequence[str],
     policies: Sequence[str],
     pe_points: Sequence[float] = PE_POINTS,
     scale: str = "small",
     seed: int = 7,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressHook] = None,
 ) -> Dict[Tuple[str, float, str], SimulationResult]:
     """Run every (workload, P/E, policy) combination once.
 
-    Traces are generated once per workload and replayed identically against
-    every policy, and every simulator uses the same seed, so comparisons
-    are paired."""
-    sizing = ssd_scale(scale)
-    results: Dict[Tuple[str, float, str], SimulationResult] = {}
-    for workload in workloads:
-        trace = generate(
-            workload,
-            n_requests=sizing.n_requests,
-            user_pages=sizing.user_pages,
-            seed=seed,
-        )
-        for pe in pe_points:
-            for policy in policies:
-                ssd = SSDSimulator(
-                    sizing.config, policy=policy, pe_cycles=pe, seed=seed
-                )
-                results[(workload, pe, policy)] = ssd.run_trace(
-                    trace, queue_depth=sizing.queue_depth
-                )
-    return results
+    Traces are generated deterministically per workload and replayed
+    identically against every policy, and every simulator uses the same
+    seed, so comparisons are paired.  ``jobs > 1`` executes cells on a
+    process pool; ``cache_dir`` skips cells already computed by an earlier
+    campaign — neither changes any result.
+    """
+    specs = grid_specs(workloads, policies, pe_points, scale=scale, seed=seed)
+    results = run_specs(specs, jobs=jobs, cache=cache_dir, progress=progress)
+    keyed: Dict[Tuple[str, float, str], SimulationResult] = {}
+    for spec, (workload, pe, policy) in zip(
+        specs,
+        ((w, pe, p) for w in workloads for pe in pe_points for p in policies),
+    ):
+        keyed[(workload, pe, policy)] = results[spec]
+    return keyed
 
 
 def geomean(values: Sequence[float]) -> float:

@@ -15,8 +15,10 @@ WORKLOADS = ("Ali121", "Ali124", "Sys0", "Sys1")
 
 
 @register("fig6", "I/O bandwidth of SSDone vs SSDzero")
-def run(scale: str = "small", seed: int = 7) -> ExperimentResult:
-    results = run_grid(WORKLOADS, ("SSDzero", "SSDone"), PE_POINTS, scale, seed)
+def run(scale: str = "small", seed: int = 7, jobs: int = 1,
+        cache_dir: str = None, progress=None) -> ExperimentResult:
+    results = run_grid(WORKLOADS, ("SSDzero", "SSDone"), PE_POINTS, scale,
+                       seed, jobs=jobs, cache_dir=cache_dir, progress=progress)
     rows = []
     headline = {}
     for pe in PE_POINTS:

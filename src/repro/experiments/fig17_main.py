@@ -14,9 +14,11 @@ from .registry import ExperimentResult, register
 
 
 @register("fig17", "Normalized I/O bandwidth, all workloads and schemes")
-def run(scale: str = "small", seed: int = 7) -> ExperimentResult:
+def run(scale: str = "small", seed: int = 7, jobs: int = 1,
+        cache_dir: str = None, progress=None) -> ExperimentResult:
     workloads = workload_names()
-    results = run_grid(workloads, FIG17_POLICIES, PE_POINTS, scale, seed)
+    results = run_grid(workloads, FIG17_POLICIES, PE_POINTS, scale, seed,
+                       jobs=jobs, cache_dir=cache_dir, progress=progress)
     rows = []
     headline = {}
     for pe in PE_POINTS:

@@ -16,8 +16,10 @@ POLICIES = ("SENC", "SWR", "SWR+", "RPSSD", "RiFSSD")
 
 
 @register("fig18", "Channel usage breakdown (COR/UNCOR/ECCWAIT/IDLE)")
-def run(scale: str = "small", seed: int = 7) -> ExperimentResult:
-    results = run_grid(WORKLOADS, POLICIES, PE_POINTS, scale, seed)
+def run(scale: str = "small", seed: int = 7, jobs: int = 1,
+        cache_dir: str = None, progress=None) -> ExperimentResult:
+    results = run_grid(WORKLOADS, POLICIES, PE_POINTS, scale, seed,
+                       jobs=jobs, cache_dir=cache_dir, progress=progress)
     rows = []
     headline = {}
     for workload in WORKLOADS:

@@ -3,11 +3,32 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import List, Optional
 
 from .registry import EXPERIMENTS, get_experiment
+
+
+def _experiment_kwargs(experiment, args) -> dict:
+    """Build the kwargs this experiment's ``run`` accepts.
+
+    Every experiment takes ``scale`` and ``seed``; the SSD-level campaigns
+    additionally accept ``jobs`` / ``cache_dir`` / ``progress`` — pass the
+    execution options only where they mean something.
+    """
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    accepted = inspect.signature(experiment.run).parameters
+    if "jobs" in accepted:
+        kwargs["jobs"] = args.jobs
+    if "cache_dir" in accepted:
+        kwargs["cache_dir"] = args.cache
+    if "progress" in accepted and args.progress:
+        from ..campaign import PrintProgress
+
+        kwargs["progress"] = PrintProgress()
+    return kwargs
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -22,11 +43,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scale", default="small", choices=("small", "full"),
                         help="experiment scale (default: small)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the SSD-level campaign "
+                             "grids (results are identical to --jobs 1)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="content-addressed result cache: skip "
+                             "(workload, P/E, policy) cells already "
+                             "computed by an earlier run")
+    parser.add_argument("--wipe-cache", action="store_true",
+                        help="empty the --cache directory and exit")
+    parser.add_argument("--progress", action="store_true",
+                        help="report per-cell campaign completion on stderr")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also export each result as DIR/<id>.csv")
     parser.add_argument("--report", metavar="FILE", default=None,
                         help="write a consolidated markdown report to FILE")
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    if args.wipe_cache:
+        if not args.cache:
+            parser.error("--wipe-cache requires --cache DIR")
+        from ..campaign import ResultCache
+
+        removed = ResultCache(args.cache).wipe()
+        print(f"-- wiped {removed} cached results from {args.cache}")
+        return 0
 
     if args.list or not args.experiments:
         for exp_id in sorted(EXPERIMENTS):
@@ -38,7 +82,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for exp_id in ids:
         experiment = get_experiment(exp_id)
         start = time.time()
-        result = experiment.run(scale=args.scale, seed=args.seed)
+        result = experiment.run(**_experiment_kwargs(experiment, args))
         collected.append(result)
         print(result.format_table())
         print(f"-- {exp_id} finished in {time.time() - start:.1f}s\n")

@@ -25,6 +25,8 @@ class EventQueue:
         self._seq += 1
 
     def pop(self):
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
         return heapq.heappop(self._heap)
 
     def __len__(self) -> int:
@@ -75,9 +77,12 @@ class Simulator:
         """Process events in time order.
 
         ``until`` bounds simulated time; ``stop_condition`` is checked after
-        every event; ``max_events`` guards against runaway simulations.
+        every event; ``max_events`` bounds *this call* (the lifetime total
+        remains available as :attr:`processed_events`), so resumable
+        simulators get the full budget on every run.
         """
         self._stopped = False
+        processed_this_run = 0
         while self.events and not self._stopped:
             if until is not None and self.events.peek_time() > until:
                 self.now = until
@@ -87,8 +92,9 @@ class Simulator:
                 raise SimulationError("event queue went backwards in time")
             self.now = time
             callback()
+            processed_this_run += 1
             self._processed += 1
-            if self._processed > max_events:
+            if processed_this_run > max_events:
                 raise SimulationError(f"exceeded {max_events} events")
             if stop_condition is not None and stop_condition():
                 break

@@ -11,7 +11,7 @@ separately so read-oriented comparisons stay clean.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Sequence
 
 from ..errors import SimulationError
@@ -32,6 +32,14 @@ class ChannelUsage:
     @property
     def total(self) -> float:
         return self.cor + self.uncor + self.write + self.gc + self.eccwait + self.idle
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-compatible dict; :meth:`from_dict` round-trips exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ChannelUsage":
+        return cls(**data)
 
     def fractions(self) -> Dict[str, float]:
         """Normalised shares, the Fig.-18 stacked bars."""
@@ -75,6 +83,22 @@ class SimMetrics:
     gc_page_copies: int = 0
     disturb_relocations: int = 0
     elapsed_us: float = 0.0
+
+    # --- serialisation -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; :meth:`from_dict` round-trips exactly
+        (floats survive JSON at ``repr`` precision)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimMetrics":
+        metrics = cls(**data)
+        # JSON has no tuple/list distinction; normalise to fresh lists so a
+        # round-tripped instance is independent of the source dict
+        metrics.read_latencies_us = [float(v) for v in metrics.read_latencies_us]
+        metrics.write_latencies_us = [float(v) for v in metrics.write_latencies_us]
+        return metrics
 
     # --- headline numbers --------------------------------------------------------
 

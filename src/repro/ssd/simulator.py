@@ -72,17 +72,46 @@ class TimelineTracer:
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Everything a workload run produces."""
+    """Everything a workload run produces.
+
+    ``completed`` distinguishes a trace driven to exhaustion from a run cut
+    off at ``time_limit_us`` — partial runs still report valid bandwidth
+    over the elapsed window, but comparisons across policies should check
+    the flag.
+    """
 
     policy: str
     pe_cycles: float
     workload: str
     metrics: SimMetrics
     channel_usage: ChannelUsage
+    completed: bool = True
 
     @property
     def io_bandwidth_mb_s(self) -> float:
         return self.metrics.io_bandwidth_mb_s()
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; :meth:`from_dict` round-trips exactly."""
+        return {
+            "policy": self.policy,
+            "pe_cycles": self.pe_cycles,
+            "workload": self.workload,
+            "metrics": self.metrics.to_dict(),
+            "channel_usage": self.channel_usage.to_dict(),
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        return cls(
+            policy=data["policy"],
+            pe_cycles=data["pe_cycles"],
+            workload=data["workload"],
+            metrics=SimMetrics.from_dict(data["metrics"]),
+            channel_usage=ChannelUsage.from_dict(data["channel_usage"]),
+            completed=data.get("completed", True),
+        )
 
 
 class _RequestState:
@@ -479,13 +508,11 @@ class SSDSimulator:
             raise SimulationError(f"unknown mode {mode!r}")
         host.start()
         self.run(until=time_limit_us)
-        if not host.done and self.sim.now >= time_limit_us:
-            # partial run: bandwidth over the elapsed window is still valid
-            pass
         return SimulationResult(
             policy=str(self.policy.name.value),
             pe_cycles=self.pe_cycles,
             workload=trace.name,
             metrics=self.metrics,
             channel_usage=self.channel_usage(),
+            completed=host.done,
         )

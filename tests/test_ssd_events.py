@@ -100,6 +100,23 @@ def test_max_events_guard():
         sim.run(max_events=100)
 
 
+def test_max_events_budget_is_per_run_call():
+    """The guard bounds each run() call, not the simulator's lifetime —
+    resumable simulations get a fresh budget every call."""
+    sim = Simulator()
+    for i in range(60):
+        sim.after(float(i + 1), lambda: None)
+    sim.run(until=30.0, max_events=40)  # 30 events: within budget
+    sim.run(max_events=40)              # 30 more: fresh budget, still fine
+    assert sim.processed_events == 60   # lifetime total keeps accumulating
+
+
+def test_event_queue_pop_empty_raises_simulation_error():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.pop()
+
+
 def test_event_queue_peek():
     q = EventQueue()
     assert q.peek_time() is None
