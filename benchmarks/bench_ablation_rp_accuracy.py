@@ -7,7 +7,6 @@ baseline as accuracy decays, and the paper's operating point is
 indistinguishable from a perfect predictor.
 """
 
-import numpy as np
 
 from repro.config import small_test_config
 from repro.core.accuracy import RpAccuracyModel

@@ -12,7 +12,9 @@ that structure explicit:
   the spec alone;
 * :mod:`.executor` — :class:`SerialExecutor` / :class:`ParallelExecutor`
   and the :func:`run_specs` orchestrator (``jobs=N`` gives bit-identical
-  results to ``jobs=1``);
+  results to ``jobs=1``); the parallel executor survives worker crashes,
+  hangs (``cell_timeout_s``) and deterministic cell errors, turning them
+  into per-cell :class:`CellFailure` records under ``on_failure="record"``;
 * :mod:`.cache` — :class:`ResultCache`, a content-addressed on-disk store
   (spec hash -> result JSON) that skips already-computed cells;
 * :mod:`.serialize` — exact JSON round-tripping of results;
@@ -21,6 +23,7 @@ that structure explicit:
 
 from .cache import ResultCache
 from .executor import (
+    CellFailure,
     ParallelExecutor,
     SerialExecutor,
     make_executor,
@@ -52,6 +55,7 @@ __all__ = [
     "execute",
     "SerialExecutor",
     "ParallelExecutor",
+    "CellFailure",
     "make_executor",
     "run_specs",
     "ResultCache",

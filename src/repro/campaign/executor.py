@@ -1,4 +1,4 @@
-"""Campaign executors: serial and process-parallel grid execution.
+"""Campaign executors: serial and crash-hardened process-parallel grids.
 
 Every cell of a campaign is an independent, fully-seeded simulation
 (:func:`repro.campaign.spec.execute`), so the grid is embarrassingly
@@ -7,98 +7,421 @@ that rebuild trace and simulator from the spec alone, which makes its
 results bit-identical to :class:`SerialExecutor`'s — the scheduling order
 can never leak into a result because nothing is shared between cells.
 
+The parallel executor additionally survives the three ways a worker can
+die under it:
+
+* **crash** — a worker process exits (``BrokenProcessPool``): the pool is
+  re-created and the in-flight suspects are re-run one at a time to
+  isolate the culprit, bounded by ``max_cell_retries``;
+* **hang** — a cell outlives ``cell_timeout_s``: the stuck workers are
+  killed, the pool re-created, the timed-out cell retried (bounded) and
+  the innocent in-flight cells resubmitted without penalty;
+* **error** — a cell raises: deterministic, so never retried.
+
+What happens to a cell that exhausts its budget is governed by
+``on_failure``: ``"raise"`` (the default) raises
+:class:`~repro.errors.CampaignExecutionError` naming the spec by content
+hash; ``"record"`` stores a :class:`CellFailure` record under the spec in
+the returned mapping so the rest of the grid completes — the mode chaos
+campaigns run in.
+
 :func:`run_specs` is the one entry point most callers want: it layers the
 optional on-disk cache and progress reporting over whichever executor the
-``jobs`` count selects.
+``jobs`` count selects (failures are never cached).
 """
 
 from __future__ import annotations
 
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ConfigError
+from ..errors import CampaignExecutionError, ConfigError
 from ..ssd import SimulationResult
 from .cache import ResultCache
 from .progress import ProgressHook
 from .spec import RunSpec, build_trace, execute
 
-#: ``report(spec, result, elapsed_s)`` — invoked once per computed cell.
-ReportFn = Callable[[RunSpec, SimulationResult, float], None]
+#: ``report(spec, outcome, elapsed_s)`` — invoked once per finished cell
+#: (the outcome is a :class:`SimulationResult` or a :class:`CellFailure`).
+ReportFn = Callable[[RunSpec, "CellOutcome", float], None]
+
+#: Failure dispositions for a cell that crashed, hung, or errored.
+ON_FAILURE = ("raise", "record")
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Per-cell failure record: what went wrong, identified by spec hash."""
+
+    spec_hash: str
+    label: str
+    kind: str        # "crash" | "timeout" | "error"
+    message: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_hash": self.spec_hash,
+            "label": self.label,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+CellOutcome = Union[SimulationResult, CellFailure]
+
+
+def _run_worker_chaos(spec: RunSpec) -> None:
+    """Execute campaign-level chaos directives (worker_crash/worker_hang)
+    attached to the spec's fault plan.  Only ever called in a pool worker,
+    where a crash is contained by process isolation."""
+    plan = spec.fault_plan
+    if plan is None:
+        return
+    for fault in plan.worker_faults():
+        if fault.kind == "worker_crash":
+            os._exit(3)
+        time.sleep(fault.magnitude)  # worker_hang
 
 
 def _execute_cell(spec: RunSpec) -> Tuple[RunSpec, SimulationResult, float]:
     """Worker entry point: rebuild everything from the spec and run it."""
     started = time.perf_counter()
+    _run_worker_chaos(spec)
     result = execute(spec)
     return spec, result, time.perf_counter() - started
 
 
+def _check_on_failure(on_failure: str) -> str:
+    if on_failure not in ON_FAILURE:
+        raise ConfigError(
+            f"on_failure must be one of {ON_FAILURE}, got {on_failure!r}"
+        )
+    return on_failure
+
+
 class SerialExecutor:
-    """Run specs one after another in this process (today's behaviour).
+    """Run specs one after another in this process.
 
     Traces are generated once per distinct :meth:`RunSpec.trace_key` and
     shared across the cells that replay them — an optimisation only, since
-    regeneration is deterministic.
+    regeneration is deterministic.  Worker-chaos directives cannot be
+    isolated in-process, so those cells become deterministic failure
+    records (or raise) without executing.
     """
 
     jobs = 1
 
+    def __init__(self, on_failure: str = "raise"):
+        self.on_failure = _check_on_failure(on_failure)
+
+    def _fail(self, results: Dict[RunSpec, CellOutcome], spec: RunSpec,
+              kind: str, message: str, report: ReportFn = None) -> None:
+        failure = CellFailure(spec_hash=spec.content_hash(),
+                              label=spec.label(), kind=kind,
+                              message=message, attempts=1)
+        if self.on_failure == "raise":
+            raise CampaignExecutionError(
+                f"cell {failure.label} (spec {failure.spec_hash}) "
+                f"{kind}: {message}"
+            )
+        results[spec] = failure
+        if report is not None:
+            report(spec, failure, 0.0)
+
     def map(self, specs: Sequence[RunSpec],
-            report: ReportFn = None) -> Dict[RunSpec, SimulationResult]:
+            report: ReportFn = None) -> Dict[RunSpec, CellOutcome]:
         traces = {}
-        results: Dict[RunSpec, SimulationResult] = {}
+        results: Dict[RunSpec, CellOutcome] = {}
         for spec in specs:
+            if spec.fault_plan is not None and spec.fault_plan.worker_faults():
+                kinds = sorted({f.kind for f in
+                                spec.fault_plan.worker_faults()})
+                self._fail(results, spec, "crash",
+                           f"worker chaos directive {kinds} needs process "
+                           "isolation (jobs > 1)", report)
+                continue
             key = spec.trace_key()
             if key not in traces:
                 traces[key] = build_trace(spec)
             started = time.perf_counter()
-            results[spec] = execute(spec, trace=traces[key])
+            try:
+                results[spec] = execute(spec, trace=traces[key])
+            except Exception as exc:
+                if self.on_failure == "raise":
+                    raise CampaignExecutionError(
+                        f"cell {spec.label()} (spec {spec.content_hash()}) "
+                        f"raised {type(exc).__name__}: {exc}"
+                    ) from exc
+                self._fail(results, spec, "error",
+                           f"{type(exc).__name__}: {exc}", report)
+                continue
             if report is not None:
                 report(spec, results[spec], time.perf_counter() - started)
         return results
 
 
 class ParallelExecutor:
-    """Fan specs out over a pool of worker processes.
+    """Fan specs out over a pool of worker processes, surviving the pool.
 
     Workers receive only the (picklable) spec and rebuild trace + simulator
     locally, so results are bit-identical to a serial run regardless of
     completion order, worker count, or which worker ran which cell.
+
+    ``cell_timeout_s`` bounds each cell's wall clock (``None`` = no bound);
+    ``max_cell_retries`` bounds how often a crashed or timed-out cell is
+    re-run before it is declared failed; ``on_failure`` picks between
+    raising a typed :class:`~repro.errors.CampaignExecutionError` and
+    recording a :class:`CellFailure` in the result mapping.
     """
 
-    def __init__(self, jobs: int = None):
+    def __init__(self, jobs: int = None, cell_timeout_s: float = None,
+                 max_cell_retries: int = 1, on_failure: str = "raise"):
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise ConfigError("cell_timeout_s must be positive (or None)")
+        if max_cell_retries < 0:
+            raise ConfigError("max_cell_retries must be >= 0")
         self.jobs = jobs
+        self.cell_timeout_s = cell_timeout_s
+        self.max_cell_retries = max_cell_retries
+        self.on_failure = _check_on_failure(on_failure)
 
     def map(self, specs: Sequence[RunSpec],
-            report: ReportFn = None) -> Dict[RunSpec, SimulationResult]:
-        results: Dict[RunSpec, SimulationResult] = {}
+            report: ReportFn = None) -> Dict[RunSpec, CellOutcome]:
         if not specs:
-            return results
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
-            pending = {pool.submit(_execute_cell, spec) for spec in specs}
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    spec, result, elapsed = future.result()
-                    results[spec] = result
-                    if report is not None:
-                        report(spec, result, elapsed)
-        return results
+            return {}
+        return _PoolRun(self, list(specs), report).run()
 
 
-def make_executor(jobs: Optional[int] = 1):
-    """``jobs=1`` (or ``0``/negative never allowed) -> serial; otherwise a
-    process pool with ``jobs`` workers (``None`` -> all cores)."""
+class _PoolRun:
+    """One hardened parallel campaign execution (internal)."""
+
+    def __init__(self, executor: ParallelExecutor, specs: List[RunSpec],
+                 report: Optional[ReportFn]):
+        self.executor = executor
+        self.specs = specs
+        self.report = report
+        self.max_workers = min(executor.jobs, len(specs))
+        self.results: Dict[RunSpec, CellOutcome] = {}
+        self.queue = deque(specs)
+        self.attempts: Dict[RunSpec, int] = {spec: 0 for spec in specs}
+        self.pool: Optional[ProcessPoolExecutor] = None
+        #: future -> (spec, submitted_at); every submitted future is
+        #: running (we never queue more than ``max_workers`` at once), so
+        #: submission time is a fair start of its timeout window
+        self.running: Dict[object, Tuple[RunSpec, float]] = {}
+        self.restarts = 0
+        self.max_restarts = 2 * len(specs) * (executor.max_cell_retries + 1) + 4
+
+    # --- pool lifecycle ---------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def _kill_pool(self) -> None:
+        """Terminate worker processes (they may be hung) and drop the pool."""
+        pool = self.pool
+        self.pool = None
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _restart_pool(self) -> None:
+        self._kill_pool()
+        self.restarts += 1
+        if self.restarts > self.max_restarts:
+            raise CampaignExecutionError(
+                f"worker pool kept dying ({self.restarts} restarts); "
+                "aborting the campaign"
+            )
+        self.running.clear()
+        self.pool = self._new_pool()
+
+    # --- outcome bookkeeping ----------------------------------------------
+
+    def _record_success(self, spec: RunSpec, result: SimulationResult,
+                        elapsed: float) -> None:
+        self.results[spec] = result
+        if self.report is not None:
+            self.report(spec, result, elapsed)
+
+    def _fail(self, spec: RunSpec, kind: str, message: str) -> None:
+        failure = CellFailure(spec_hash=spec.content_hash(),
+                              label=spec.label(), kind=kind, message=message,
+                              attempts=self.attempts[spec])
+        if self.executor.on_failure == "raise":
+            self._kill_pool()
+            raise CampaignExecutionError(
+                f"cell {failure.label} (spec {failure.spec_hash}) "
+                f"{kind} after {failure.attempts} attempt(s): {message}"
+            )
+        self.results[spec] = failure
+        if self.report is not None:
+            self.report(spec, failure, 0.0)
+
+    def _cell_error(self, spec: RunSpec, exc: Exception) -> None:
+        """The cell itself raised — deterministic, so never retried."""
+        if self.executor.on_failure == "raise":
+            self._kill_pool()
+            raise CampaignExecutionError(
+                f"cell {spec.label()} (spec {spec.content_hash()}) raised "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        self._fail(spec, "error", f"{type(exc).__name__}: {exc}")
+
+    # --- main loop --------------------------------------------------------
+
+    def run(self) -> Dict[RunSpec, CellOutcome]:
+        self.pool = self._new_pool()
+        try:
+            while self.queue or self.running:
+                self._refill()
+                if not self.running:
+                    continue
+                self._drain_once()
+            return self.results
+        finally:
+            self._kill_pool()
+
+    def _refill(self) -> None:
+        while self.queue and len(self.running) < self.max_workers:
+            spec = self.queue.popleft()
+            self.attempts[spec] += 1
+            try:
+                future = self.pool.submit(_execute_cell, spec)
+            except BrokenProcessPool:
+                # the pool died between drains; put the spec back and
+                # rebuild (its attempt did not run)
+                self.attempts[spec] -= 1
+                self.queue.appendleft(spec)
+                self._restart_pool()
+                continue
+            self.running[future] = (spec, time.monotonic())
+
+    def _wait_timeout(self) -> Optional[float]:
+        limit = self.executor.cell_timeout_s
+        if limit is None:
+            return None
+        earliest = min(t for _, t in self.running.values())
+        return max(0.0, earliest + limit - time.monotonic())
+
+    def _drain_once(self) -> None:
+        done, _ = wait(set(self.running), timeout=self._wait_timeout(),
+                       return_when=FIRST_COMPLETED)
+        suspects: List[RunSpec] = []
+        broken = False
+        for future in done:
+            spec, _started = self.running.pop(future)
+            try:
+                _spec, result, elapsed = future.result()
+            except BrokenProcessPool:
+                broken = True
+                suspects.append(spec)
+            except Exception as exc:
+                self._cell_error(spec, exc)
+            else:
+                self._record_success(spec, result, elapsed)
+        if broken:
+            # every other in-flight cell is doomed with the pool; re-run
+            # all suspects one at a time to isolate the culprit.  The swept
+            # attempt is refunded — innocents should not burn retry budget
+            # on someone else's crash, and the culprit will spend real
+            # attempts crashing the single-cell pool below
+            suspects.extend(spec for spec, _t in self.running.values())
+            for spec in suspects:
+                self.attempts[spec] = max(0, self.attempts[spec] - 1)
+            self._restart_pool()
+            self._isolate(suspects)
+            return
+        self._reap_timeouts()
+
+    def _reap_timeouts(self) -> None:
+        limit = self.executor.cell_timeout_s
+        if limit is None or not self.running:
+            return
+        now = time.monotonic()
+        expired = [(future, spec) for future, (spec, started)
+                   in self.running.items() if now - started >= limit]
+        if not expired:
+            return
+        expired_specs = {spec for _f, spec in expired}
+        innocents = [spec for _f, (spec, _t) in self.running.items()
+                     if spec not in expired_specs]
+        # the stuck workers must die; innocents are resubmitted without
+        # burning their retry budget
+        for spec in innocents:
+            self.attempts[spec] -= 1
+            self.queue.appendleft(spec)
+        self._restart_pool()
+        for _future, spec in expired:
+            if self.attempts[spec] > self.executor.max_cell_retries:
+                self._fail(spec, "timeout",
+                           f"cell exceeded {limit:g}s "
+                           f"{self.attempts[spec]} time(s)")
+            else:
+                self.queue.append(spec)
+
+    def _isolate(self, suspects: List[RunSpec]) -> None:
+        """Re-run pool-break suspects one at a time: the culprit breaks the
+        (single-cell) pool again and exhausts its retry budget; innocents
+        simply complete."""
+        limit = self.executor.cell_timeout_s
+        for spec in suspects:
+            while True:
+                if self.attempts[spec] > self.executor.max_cell_retries:
+                    self._fail(spec, "crash",
+                               "worker process died while executing this "
+                               f"cell ({self.attempts[spec]} attempt(s))")
+                    break
+                self.attempts[spec] += 1
+                future = self.pool.submit(_execute_cell, spec)
+                try:
+                    _spec, result, elapsed = future.result(timeout=limit)
+                except BrokenProcessPool:
+                    self._restart_pool()
+                    continue
+                except FutureTimeoutError:
+                    self._restart_pool()
+                    if self.attempts[spec] > self.executor.max_cell_retries:
+                        self._fail(spec, "timeout",
+                                   f"cell exceeded {limit:g}s "
+                                   f"{self.attempts[spec]} time(s)")
+                        break
+                    continue
+                except Exception as exc:
+                    self._cell_error(spec, exc)
+                    break
+                else:
+                    self._record_success(spec, result, elapsed)
+                    break
+
+
+def make_executor(jobs: Optional[int] = 1, cell_timeout_s: float = None,
+                  max_cell_retries: int = 1, on_failure: str = "raise"):
+    """``jobs=1`` -> serial; otherwise a process pool with ``jobs`` workers
+    (``None`` -> all cores).  The hardening knobs apply to the parallel
+    executor; the serial executor honours ``on_failure`` only."""
     if jobs == 1:
-        return SerialExecutor()
-    return ParallelExecutor(jobs)
+        return SerialExecutor(on_failure=on_failure)
+    return ParallelExecutor(jobs, cell_timeout_s=cell_timeout_s,
+                            max_cell_retries=max_cell_retries,
+                            on_failure=on_failure)
 
 
 def run_specs(
@@ -106,14 +429,20 @@ def run_specs(
     jobs: Optional[int] = 1,
     cache: "ResultCache | str | os.PathLike | None" = None,
     progress: ProgressHook = None,
-) -> Dict[RunSpec, SimulationResult]:
+    cell_timeout_s: float = None,
+    max_cell_retries: int = 1,
+    on_failure: str = "raise",
+) -> Dict[RunSpec, CellOutcome]:
     """Execute a campaign: cache lookup, (parallel) execution, cache fill.
 
-    Returns ``{spec: result}`` covering every distinct spec in ``specs``
+    Returns ``{spec: outcome}`` covering every distinct spec in ``specs``
     (duplicates are computed once).  With a ``cache``, already-computed
     cells are loaded instead of re-simulated and fresh cells are stored;
     the returned results are identical either way because cached JSON
-    round-trips floats exactly.
+    round-trips floats exactly.  With ``on_failure="record"``, cells whose
+    worker crashed, hung past ``cell_timeout_s``, or raised map to
+    :class:`CellFailure` records (never cached) instead of killing the
+    grid.
     """
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
@@ -122,7 +451,7 @@ def run_specs(
     if progress is not None:
         progress.on_start(len(unique))
 
-    results: Dict[RunSpec, SimulationResult] = {}
+    results: Dict[RunSpec, CellOutcome] = {}
     to_run: List[RunSpec] = []
     for spec in unique:
         hit = cache.get(spec) if cache is not None else None
@@ -134,14 +463,17 @@ def run_specs(
             to_run.append(spec)
 
     if to_run:
-        def report(spec: RunSpec, result: SimulationResult,
+        def report(spec: RunSpec, outcome: CellOutcome,
                    elapsed: float) -> None:
-            if cache is not None:
-                cache.put(spec, result)
+            if cache is not None and isinstance(outcome, SimulationResult):
+                cache.put(spec, outcome)
             if progress is not None:
-                progress.on_result(spec, result, elapsed, cached=False)
+                progress.on_result(spec, outcome, elapsed, cached=False)
 
-        results.update(make_executor(jobs).map(to_run, report))
+        executor = make_executor(jobs, cell_timeout_s=cell_timeout_s,
+                                 max_cell_retries=max_cell_retries,
+                                 on_failure=on_failure)
+        results.update(executor.map(to_run, report))
 
     if progress is not None:
         progress.on_finish(time.perf_counter() - started)

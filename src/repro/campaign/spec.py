@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..config import SSDConfig, small_test_config
 from ..errors import ConfigError
+from ..faults import FaultPlan
 from ..ssd import SimulationResult, SSDSimulator
 from ..ssd.ecc_model import EccOutcomeModel
 from ..workloads import generate
@@ -150,9 +151,18 @@ class RunSpec:
     channel_arbitration: bool = False
     read_disturb_threshold: Optional[int] = None
     reliability_mode: str = "parametric"
+    #: Optional deterministic fault-injection plan (:mod:`repro.faults`);
+    #: accepted as a :class:`FaultPlan` or its dict form.  ``None`` keeps
+    #: the spec's canonical dict — and therefore its content hash —
+    #: identical to pre-fault-plan campaigns.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "pe_cycles", float(self.pe_cycles))
+        if self.fault_plan is not None and not isinstance(self.fault_plan,
+                                                          FaultPlan):
+            object.__setattr__(self, "fault_plan",
+                               FaultPlan.from_dict(dict(self.fault_plan)))
         object.__setattr__(self, "policy_kwargs",
                            _freeze_kwargs(self.policy_kwargs))
         object.__setattr__(self, "config_overrides",
@@ -173,6 +183,10 @@ class RunSpec:
                 value = dict(value)
             elif f.name == "config_overrides":
                 value = _thaw(value)
+            elif f.name == "fault_plan":
+                if value is None:
+                    continue  # keep pre-fault-plan hashes/caches valid
+                value = value.to_dict()
             out[f.name] = value
         return out
 
@@ -264,6 +278,7 @@ def build_simulator(spec: RunSpec) -> SSDSimulator:
         read_disturb_threshold=spec.read_disturb_threshold,
         operating_temp_c=spec.operating_temp_c,
         channel_arbitration=spec.channel_arbitration,
+        fault_plan=spec.fault_plan,
     )
 
 

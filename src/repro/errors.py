@@ -1,7 +1,29 @@
 """Exception hierarchy for the ``repro`` library.
 
 Every error raised by the library derives from :class:`ReproError` so that
-callers can catch library failures without catching unrelated bugs.
+callers can catch library failures without catching unrelated bugs.  The
+full hierarchy::
+
+    ReproError
+    +-- ConfigError            invalid or inconsistent configuration value
+    +-- GeometryError          flash address outside the device geometry
+    +-- CodecError             LDPC encode/decode precondition violated
+    +-- SimulationError        discrete-event simulator inconsistency
+    +-- TraceError             malformed workload trace / request
+    +-- CapacityError          FTL ran out of physical space
+    +-- FaultInjectionError    invalid fault plan, or an injected fault
+    |                          surfaced without mitigation
+    +-- RetryExhaustedError    controller mitigation gave up on a fault
+    +-- DegradedReadError      read failed because the device is running
+    |                          in degraded mode (e.g. an offline die)
+    +-- CampaignExecutionError a campaign cell crashed, hung, or errored
+                               (carries the spec's content hash)
+
+:class:`RetryExhaustedError` and :class:`DegradedReadError` are the *typed*
+read-failure outcomes of the fault-injection subsystem
+(:mod:`repro.faults`): with ``FaultPlan.on_degraded = "raise"`` an
+unrecoverable read raises one of them instead of being absorbed into the
+degradation metrics — never a hang, never a silent drop.
 """
 
 from __future__ import annotations
@@ -35,3 +57,24 @@ class TraceError(ReproError):
 class CapacityError(ReproError):
     """The FTL ran out of physical space for the requested logical
     footprint (device over-provisioning exhausted)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is invalid, or an injected fault reached a layer that
+    cannot mitigate it (e.g. a functional-model read of a grown bad
+    block)."""
+
+
+class RetryExhaustedError(ReproError):
+    """Controller mitigation retried an injected fault up to the plan's
+    bound and every attempt failed."""
+
+
+class DegradedReadError(ReproError):
+    """A read could not be served because the device is degraded (e.g. the
+    target die is offline); raised instead of hanging the request."""
+
+
+class CampaignExecutionError(ReproError):
+    """A campaign cell crashed its worker, timed out, or raised; the
+    message names the offending spec by content hash."""

@@ -14,6 +14,7 @@ from .registry import EXPERIMENTS, ExperimentResult, get_experiment, register
 
 # importing the modules populates the registry
 from . import (  # noqa: F401  (imported for registration side effects)
+    chaos,
     fig03_ldpc,
     fig04_retention,
     fig06_motivation,

@@ -1,0 +1,39 @@
+"""Seeded, deterministic fault injection and graceful degradation.
+
+RiF's value proposition is behaviour under failure, but the statistical
+RBER model only produces *soft* failures.  This package adds the discrete
+faults real devices face — grown bad blocks, stuck dies, transfer
+corruption, decoder-buffer saturation — as declarative, deterministic
+plans:
+
+* :mod:`.plan` — :class:`FaultSpec` / :class:`FaultPlan`, frozen values
+  with exact dict round-trips that compose with
+  :class:`~repro.campaign.spec.RunSpec` and its content hash;
+* :mod:`.injector` — :class:`FaultInjector`, the RNG-free runtime engine
+  the simulator consults inside its event flow.
+
+Mitigation (bounded retry with backoff, bad-block retirement through the
+FTL relocation path, die-offline degraded mode) lives in
+:class:`~repro.ssd.simulator.SSDSimulator`; campaign-level chaos
+(``worker_crash`` / ``worker_hang``) is absorbed by the hardened executors
+in :mod:`repro.campaign.executor`.
+"""
+
+from .injector import FaultInjector, ReadFaultDecision
+from .plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    SIMULATOR_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SIMULATOR_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "ReadFaultDecision",
+]

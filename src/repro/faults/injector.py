@@ -1,0 +1,148 @@
+"""Runtime fault injection: deterministic trigger evaluation.
+
+The :class:`FaultInjector` is instantiated from a :class:`~.plan.FaultPlan`
+once per simulation and consulted from inside the simulator's normal event
+flow.  It is deliberately RNG-free: every trigger is a pure function of the
+global read index, the simulation clock, and the target address, so two
+runs of the same (spec, plan, seed) fire exactly the same faults at exactly
+the same points — the determinism guarantee the campaign cache relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..nand.geometry import PageAddress
+from .plan import FaultPlan, FaultSpec
+
+
+@dataclass
+class ReadFaultDecision:
+    """Everything the simulator must inject into one page read."""
+
+    offline: bool = False
+    sense_failures: int = 0          # consecutive failing sense attempts
+    latency_scale: float = 1.0       # multiplier on SENSE durations
+    corrupt_transfers: int = 0       # consecutive corrupted transfers
+    grown_bad_block: bool = False    # retire the target block
+    fired: int = 0                   # fault firings folded into this read
+
+    @property
+    def any(self) -> bool:
+        return self.fired > 0
+
+
+@dataclass
+class _FaultState:
+    """Mutable firing bookkeeping for one plan entry."""
+
+    spec: FaultSpec
+    fired: int = 0
+    retired_blocks: Set[Tuple[int, ...]] = field(default_factory=set)
+
+    def exhausted(self) -> bool:
+        return self.spec.count is not None and self.fired >= self.spec.count
+
+
+class FaultInjector:
+    """Evaluates a plan's trigger schedules against the live simulation."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._states = [_FaultState(spec) for spec in plan.simulator_faults()]
+        self.reads_seen = 0
+
+    # --- trigger evaluation -----------------------------------------------
+
+    def _matches(self, spec: FaultSpec, address: PageAddress,
+                 read_index: int, now_us: float) -> bool:
+        if read_index < spec.start_read:
+            return False
+        if spec.end_read is not None and read_index > spec.end_read:
+            return False
+        if now_us < spec.start_us:
+            return False
+        if spec.end_us is not None and now_us > spec.end_us:
+            return False
+        for name in ("channel", "die", "plane", "block"):
+            want = getattr(spec, name)
+            if want is not None and want != getattr(address, name):
+                return False
+        return (read_index - spec.start_read) % spec.period == 0
+
+    def on_page_read(self, address: PageAddress,
+                     now_us: float) -> ReadFaultDecision:
+        """Advance the read counter and fold every firing fault into one
+        decision for this read."""
+        read_index = self.reads_seen
+        self.reads_seen += 1
+        decision = ReadFaultDecision()
+        for state in self._states:
+            spec = state.spec
+            if spec.kind == "ecc_saturation" or state.exhausted():
+                continue
+            if (spec.kind == "grown_bad_block"
+                    and address.block_key() in state.retired_blocks):
+                continue
+            if not self._matches(spec, address, read_index, now_us):
+                continue
+            decision.fired += 1
+            if spec.kind == "transient_sense":
+                state.fired += 1
+                decision.sense_failures = max(
+                    decision.sense_failures, max(1, int(spec.magnitude))
+                )
+            elif spec.kind == "latency_spike":
+                state.fired += 1
+                decision.latency_scale = max(
+                    decision.latency_scale, max(1.0, spec.magnitude)
+                )
+            elif spec.kind == "channel_corrupt":
+                state.fired += 1
+                decision.corrupt_transfers = max(
+                    decision.corrupt_transfers, max(1, int(spec.magnitude))
+                )
+            elif spec.kind == "die_offline":
+                state.fired += 1
+                decision.offline = True
+            elif spec.kind == "grown_bad_block":
+                # fired count advances only on successful retirement (see
+                # note_block_retired) so a deferred relocation re-fires
+                decision.grown_bad_block = True
+        return decision
+
+    def note_block_retired(self, address: PageAddress) -> None:
+        """Record a successful grown-bad-block retirement so the fault does
+        not re-fire on the block's reincarnation after erase."""
+        key = address.block_key()
+        for state in self._states:
+            if state.spec.kind != "grown_bad_block":
+                continue
+            if self._address_matches_scope(state.spec, address):
+                state.fired += 1
+                state.retired_blocks.add(key)
+
+    @staticmethod
+    def _address_matches_scope(spec: FaultSpec, address: PageAddress) -> bool:
+        return all(
+            getattr(spec, name) is None
+            or getattr(spec, name) == getattr(address, name)
+            for name in ("channel", "die", "plane", "block")
+        )
+
+    # --- time-window faults ----------------------------------------------
+
+    def saturation_windows(self) -> List[FaultSpec]:
+        """The ``ecc_saturation`` entries, for up-front sim scheduling."""
+        return [s.spec for s in self._states
+                if s.spec.kind == "ecc_saturation"]
+
+    # --- introspection ----------------------------------------------------
+
+    def firings(self) -> Dict[str, int]:
+        """Total firings per fault kind (diagnostics)."""
+        out: Dict[str, int] = {}
+        for state in self._states:
+            out[state.spec.kind] = out.get(state.spec.kind, 0) + state.fired
+        return out

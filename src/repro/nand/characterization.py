@@ -20,7 +20,7 @@ module runs the same *campaign* against the calibrated models of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -22,7 +22,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigError, GeometryError
+from ..errors import ConfigError, DegradedReadError, FaultInjectionError, GeometryError
 from ..rng import SeedLike, make_rng
 from .randomizer import Randomizer
 from .retry_table import RetryTable
@@ -113,6 +113,36 @@ class FlashDie:
             p: None for p in range(planes)
         }
         self.ready: bool = True  # status-register ready flag
+        #: grown bad blocks: commands targeting them fail loudly
+        self._bad_blocks: set = set()
+        #: a stuck/offline die rejects every command until cleared
+        self.offline: bool = False
+
+    # --- fault injection (repro.faults functional hooks) ------------------------------
+
+    def mark_bad_block(self, plane: int, block: int) -> None:
+        """Declare a grown bad block: subsequent reads/programs of it raise
+        :class:`~repro.errors.FaultInjectionError` until the block is
+        erased (retirement reconditions it in this functional model)."""
+        self._check_plane_block(plane, block)
+        self._bad_blocks.add((plane, block))
+
+    def is_bad_block(self, plane: int, block: int) -> bool:
+        self._check_plane_block(plane, block)
+        return (plane, block) in self._bad_blocks
+
+    def set_offline(self, offline: bool = True) -> None:
+        """Take the whole die offline (stuck die) or bring it back."""
+        self.offline = offline
+        self.ready = not offline
+
+    def _check_operational(self, plane: int, block: int) -> None:
+        if self.offline:
+            raise DegradedReadError("die is offline")
+        if (plane, block) in self._bad_blocks:
+            raise FaultInjectionError(
+                f"grown bad block (plane={plane}, block={block})"
+            )
 
     # --- condition control ----------------------------------------------------------
 
@@ -138,6 +168,7 @@ class FlashDie:
     def program(self, plane: int, block: int, page: int, bits: np.ndarray) -> None:
         """Program a page: scramble and store."""
         self._check_addr(plane, block, page)
+        self._check_operational(plane, block)
         bits = np.asarray(bits, dtype=np.uint8)
         if bits.shape != (self.page_bits,):
             raise ConfigError(
@@ -154,11 +185,16 @@ class FlashDie:
         )
 
     def erase(self, plane: int, block: int) -> None:
-        """Erase a block (drops all pages, bumps wear by one cycle)."""
+        """Erase a block (drops all pages, bumps wear by one cycle).  Also
+        reconditions a grown bad block — the retirement flow relocates the
+        data first, then erases the victim."""
         self._check_plane_block(plane, block)
+        if self.offline:
+            raise DegradedReadError("die is offline")
         for page in range(self.pages_per_block):
             self._pages.pop((plane, block, page), None)
         self._pe_cycles[(plane, block)] = self._pe_cycles.get((plane, block), 0.0) + 1
+        self._bad_blocks.discard((plane, block))
 
     # --- read path ----------------------------------------------------------------------
 
@@ -197,6 +233,7 @@ class FlashDie:
     ) -> ReadResult:
         """Sense a page into the plane's buffer and return its (descrambled)
         content with errors injected at the model rate."""
+        self._check_operational(plane, block)
         stored = self._stored(plane, block, page)
         rber = self.sense_rber(plane, block, page, vref_offsets)
         noisy = self._inject_errors(stored.scrambled_bits, rber)

@@ -83,6 +83,12 @@ class SimMetrics:
     gc_page_copies: int = 0
     disturb_relocations: int = 0
     elapsed_us: float = 0.0
+    # --- fault injection & graceful degradation (repro.faults) ---
+    faults_injected: int = 0      # fault firings folded into page reads
+    faults_absorbed: int = 0      # faulted reads that still completed cleanly
+    fault_retries: int = 0        # extra sense/transfer attempts spent on faults
+    retired_blocks: int = 0       # grown-bad-block retirements
+    degraded_reads: int = 0       # reads failed (absorbed) in degraded mode
 
     # --- serialisation -----------------------------------------------------------
 

@@ -158,18 +158,37 @@ class EccEngine:
         self.name = name
         self.buffer_pages = buffer_pages
         self.slots_in_use = 0
+        #: slots squatted by fault injection (ECC-buffer saturation bursts);
+        #: they shrink the usable buffer without holding real pages
+        self.held_slots = 0
         self.decoder = SerialResource(sim, f"{name}.decoder")
         self._slot_waiters: List[Callable[[], None]] = []
 
     # --- buffer slots -------------------------------------------------------------
 
     def can_reserve(self) -> bool:
-        return self.slots_in_use < self.buffer_pages
+        return self.slots_in_use + self.held_slots < self.buffer_pages
 
     def reserve_slot(self) -> None:
         if not self.can_reserve():
             raise SimulationError(f"{self.name}: buffer overflow")
         self.slots_in_use += 1
+
+    def hold_slots(self, n: int = 0) -> None:
+        """Squat ``n`` buffer slots (0 = the whole buffer) so incoming
+        transfers gate on the shrunken remainder — the fault-injection model
+        of an ECC-buffer saturation burst."""
+        if n < 0:
+            raise SimulationError(f"{self.name}: cannot hold {n} slots")
+        self.held_slots = min(n or self.buffer_pages, self.buffer_pages)
+
+    def release_held_slots(self) -> None:
+        """End a saturation burst and re-kick gated channels."""
+        if self.held_slots == 0:
+            return
+        self.held_slots = 0
+        for waiter in self._slot_waiters:
+            waiter()
 
     def release_slot(self) -> None:
         if self.slots_in_use <= 0:

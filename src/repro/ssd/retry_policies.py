@@ -31,7 +31,7 @@ RiFSSD      The paper's scheme: on-die RP + RVS.  Predicted-uncorrectable
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..config import NandTimings

@@ -16,11 +16,18 @@ execution-timeline experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 from ..config import SSDConfig
-from ..errors import SimulationError
+from ..errors import (
+    DegradedReadError,
+    FaultInjectionError,
+    ReproError,
+    RetryExhaustedError,
+    SimulationError,
+)
+from ..faults import FaultInjector, FaultPlan, ReadFaultDecision
 from ..nand.geometry import AddressMapper, PageAddress
 from ..rng import SeedLike, make_rng, spawn
 from ..units import SEC
@@ -37,6 +44,7 @@ from .retry_policies import (
     PhaseKind,
     ReadPlan,
     TAG_GC,
+    TAG_UNCOR,
     TAG_WRITE,
     make_policy,
 )
@@ -144,6 +152,7 @@ class SSDSimulator:
         read_disturb_threshold: Optional[int] = None,
         operating_temp_c: Optional[float] = None,
         channel_arbitration: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.config = config or SSDConfig()
         self.sim = Simulator()
@@ -222,6 +231,37 @@ class SSDSimulator:
         self._page_size = g.page_size
         self._host_page_us = self._page_size / self.config.bandwidth.host_bytes_per_us
 
+        # --- fault injection (repro.faults) ---
+        self.fault_plan = fault_plan
+        self.fault_injector = (
+            FaultInjector(fault_plan) if fault_plan is not None
+            and fault_plan.simulator_faults() else None
+        )
+        if self.fault_injector is not None:
+            self._schedule_saturation_windows()
+
+    def _schedule_saturation_windows(self) -> None:
+        """Wire ``ecc_saturation`` faults as sim-time events: hold decoder
+        buffer slots at window start, release (and re-kick the gated
+        channels) at window end.  Windows should lie inside the measured
+        run — the edge events advance the clock like any other event."""
+        for spec in self.fault_injector.saturation_windows():
+            if spec.channel is not None:
+                if not 0 <= spec.channel < len(self.eccs):
+                    raise FaultInjectionError(
+                        f"ecc_saturation channel {spec.channel} outside "
+                        f"[0, {len(self.eccs)})"
+                    )
+                targets = [self.eccs[spec.channel]]
+            else:
+                targets = list(self.eccs)
+            slots = int(spec.magnitude)
+            for ecc in targets:
+                self.sim.at(spec.start_us,
+                            lambda e=ecc, n=slots: e.hold_slots(n))
+                self.sim.at(spec.end_us,
+                            lambda e=ecc: e.release_held_slots())
+
     # --- request entry point ------------------------------------------------------------
 
     def submit_request(self, request: IORequest,
@@ -253,6 +293,18 @@ class SSDSimulator:
 
     def _start_page_read(self, lpn: int, state: _RequestState) -> None:
         target = self.ftl.read(lpn)
+        faults: Optional[ReadFaultDecision] = None
+        if self.fault_injector is not None:
+            faults = self.fault_injector.on_page_read(target.address,
+                                                      self.sim.now)
+            if faults.any:
+                self.metrics.faults_injected += faults.fired
+                target = self._mitigate_read_faults(lpn, target, faults,
+                                                    state)
+                if target is None:
+                    return  # degraded: the page was completed (or raised)
+            else:
+                faults = None
         if target.cold:
             retention = self.sampler.cold_age_days(lpn)
         else:
@@ -263,10 +315,55 @@ class SSDSimulator:
         )
         plan = self.policy.plan_read(rber)
         self._account_plan(plan)
-        self._execute_plan(plan, target.address, state, label=f"R:lpn{lpn}")
+        self._execute_plan(plan, target.address, state, label=f"R:lpn{lpn}",
+                           faults=faults)
         if (self.read_disturb_threshold is not None
                 and target.block_read_count >= self.read_disturb_threshold):
             self._relocate_disturbed_block(target.address)
+
+    # --- fault mitigation (repro.faults) ---------------------------------------------
+
+    def _mitigate_read_faults(self, lpn: int, target, faults: ReadFaultDecision,
+                              state: _RequestState):
+        """Controller-level mitigation that must happen before the plan is
+        compiled.  Returns the (possibly re-resolved) read target, or
+        ``None`` when the read was dispatched as degraded."""
+        if faults.offline:
+            addr = target.address
+            self._degraded_read(state, DegradedReadError(
+                f"die (channel={addr.channel}, die={addr.die}) is offline"
+            ))
+            return None
+        if faults.grown_bad_block:
+            addr = target.address
+            pidx = self.mapper.plane_index(addr.channel, addr.die, addr.plane)
+            result = self.ftl.relocate_block(pidx, addr.block, self.sim.now)
+            if result is not None:
+                # retirement: live pages (ours included) moved off the bad
+                # block through the existing relocation path
+                self.metrics.retired_blocks += 1
+                self.fault_injector.note_block_retired(addr)
+                self.metrics.gc_page_copies += len(result.gc_copies)
+                for copy in result.gc_copies:
+                    self._start_gc_copy(copy.source, copy.destination)
+                for plane_idx, _block in result.erased_blocks:
+                    self.planes[plane_idx].submit(
+                        Job(duration=self.config.timings.t_erase, tag="ERASE")
+                    )
+                target = self.ftl.read(lpn)  # re-resolve to the new home
+            # the triggering read pays at least one retry round either way
+            # (an unretired block struggles through like a transient fault)
+            faults.sense_failures = max(faults.sense_failures, 1)
+        return target
+
+    def _degraded_read(self, state: _RequestState, error: ReproError) -> None:
+        """A read the controller cannot serve: absorb it into the metrics
+        (completing the page immediately with an error reply) or raise the
+        typed error, per the plan's ``on_degraded`` disposition."""
+        if self.fault_plan.on_degraded == "raise":
+            raise error
+        self.metrics.degraded_reads += 1
+        self._page_done(state)
 
     def _relocate_disturbed_block(self, address: PageAddress) -> None:
         """Read-disturb management: rewrite a heavily-read block, resetting
@@ -295,19 +392,37 @@ class SSDSimulator:
         m.uncorrectable_transfers += plan.uncorrectable_transfers
 
     def _execute_plan(self, plan: ReadPlan, address: PageAddress,
-                      state: _RequestState, label: str) -> None:
+                      state: _RequestState, label: str,
+                      faults: Optional[ReadFaultDecision] = None) -> None:
         plane = self.planes[self.mapper.plane_index(
             address.channel, address.die, address.plane)]
         channel = self.channels[address.channel]
         ecc = self.eccs[address.channel]
         phases = plan.phases
+        exhausted: Optional[ReproError] = None
+        if faults is not None:
+            phases, exhausted = self._apply_transfer_faults(phases, faults)
+            if faults.latency_scale > 1.0:
+                phases = [
+                    replace(p, duration=p.duration * faults.latency_scale)
+                    if p.kind is PhaseKind.SENSE else p
+                    for p in phases
+                ]
 
         def run_phase(index: int) -> None:
             if index >= len(phases):
+                if exhausted is not None:
+                    self._degraded_read(state, exhausted)
+                    return
+                if faults is not None:
+                    self.metrics.faults_absorbed += faults.fired
                 self._finish_page_read(state)
                 return
             phase = phases[index]
-            advance = lambda: run_phase(index + 1)
+
+            def advance() -> None:
+                run_phase(index + 1)
+
             if phase.kind is PhaseKind.SENSE:
                 self._submit_traced(
                     plane, phase.duration, "SENSE", label, advance
@@ -325,7 +440,70 @@ class SSDSimulator:
             else:  # pragma: no cover - enum is closed
                 raise SimulationError(f"unknown phase kind {phase.kind}")
 
-        run_phase(0)
+        if faults is not None and faults.sense_failures:
+            self._run_sense_retries(plane, faults.sense_failures, label,
+                                    state, lambda: run_phase(0))
+        else:
+            run_phase(0)
+
+    def _apply_transfer_faults(self, phases, faults: ReadFaultDecision):
+        """Fold channel-corruption faults into a phase list.
+
+        Each corrupted transfer crosses the channel, burns a doomed decode
+        (UNCOR, full failed-decode latency), and is re-transferred; within
+        the retry budget the clean plan follows, beyond it the corrupted
+        rounds play out and the read ends degraded."""
+        if not faults.corrupt_transfers:
+            return phases, None
+        budget = self.fault_plan.max_retries
+        plays = min(faults.corrupt_transfers, budget + 1)
+        for i, phase in enumerate(phases):
+            if phase.kind is PhaseKind.TRANSFER and phase.decode_us is not None:
+                corrupt = replace(phase, tag=TAG_UNCOR,
+                                  decode_us=self.config.ecc.t_ecc_max)
+                self.metrics.fault_retries += plays
+                self.metrics.uncorrectable_transfers += plays
+                if faults.corrupt_transfers > budget:
+                    return list(phases[:i]) + [corrupt] * plays, \
+                        RetryExhaustedError(
+                            f"transfer still corrupt after {budget} "
+                            "re-transfers"
+                        )
+                return (list(phases[:i]) + [corrupt] * plays
+                        + list(phases[i:])), None
+        return phases, None  # plan has no decoder-bound transfer to corrupt
+
+    def _run_sense_retries(self, plane: SerialResource, failures: int,
+                           label: str, state: _RequestState,
+                           proceed: Callable[[], None]) -> None:
+        """Bounded retry with backoff for transient sense faults: the die
+        fails ``failures`` consecutive senses; the controller re-issues up
+        to ``max_retries`` times, waiting ``retry_backoff_us * round``
+        between attempts, then gives up (degraded read)."""
+        fault_plan = self.fault_plan
+        t_read = self.config.timings.t_read
+
+        def attempt(i: int) -> None:
+            def after_sense() -> None:
+                nxt = i + 1
+                backoff = fault_plan.retry_backoff_us * nxt
+                if nxt > fault_plan.max_retries:
+                    self._degraded_read(state, RetryExhaustedError(
+                        f"sense still failing after "
+                        f"{fault_plan.max_retries} retries"
+                    ))
+                    return
+                self.metrics.fault_retries += 1
+                if nxt >= failures:
+                    # the re-issued sense succeeds: it is the plan's own
+                    # first SENSE phase
+                    self.sim.after(backoff, proceed)
+                else:
+                    self.sim.after(backoff, lambda: attempt(nxt))
+
+            self._submit_traced(plane, t_read, "FAULT", label, after_sense)
+
+        attempt(0)
 
     def _submit_traced(self, resource: SerialResource, duration: float,
                        tag: str, label: str, on_complete: Callable[[], None],

@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List
 
 from ..errors import TraceError
 from ..units import KIB
@@ -29,12 +29,22 @@ class IORequest:
     size_bytes: int
 
     def __post_init__(self) -> None:
+        """Validate at construction so a malformed request is rejected where
+        it is built, naming the offending field."""
         if self.op not in (READ, WRITE):
             raise TraceError(f"op must be {READ!r} or {WRITE!r}, got {self.op!r}")
-        if self.offset_bytes < 0 or self.size_bytes <= 0:
-            raise TraceError("offset must be >= 0 and size > 0")
+        if not isinstance(self.offset_bytes, int) or self.offset_bytes < 0:
+            raise TraceError(
+                f"offset_bytes must be an int >= 0, got {self.offset_bytes!r}"
+            )
+        if not isinstance(self.size_bytes, int) or self.size_bytes <= 0:
+            raise TraceError(
+                f"size_bytes must be an int > 0, got {self.size_bytes!r}"
+            )
         if self.timestamp_us < 0:
-            raise TraceError("timestamp must be >= 0")
+            raise TraceError(
+                f"timestamp_us must be >= 0, got {self.timestamp_us!r}"
+            )
 
     @property
     def is_read(self) -> bool:

@@ -1,0 +1,166 @@
+"""Crash-hardened campaign execution: worker death, hangs, failure records.
+
+A campaign grid must survive any single cell — a worker crash, a hang, or
+a deterministic error — either by raising a typed
+``CampaignExecutionError`` naming the spec's content hash (``on_failure=
+"raise"``, the default) or by recording a per-cell ``CellFailure`` and
+completing every other cell (``on_failure="record"``, chaos mode).
+"""
+
+import pytest
+
+from repro.campaign import (
+    CellFailure,
+    ParallelExecutor,
+    ResultCache,
+    RunSpec,
+    SerialExecutor,
+    execute,
+    run_specs,
+)
+from repro.errors import CampaignExecutionError, ConfigError
+from repro.experiments import runner
+from repro.faults import FaultPlan, FaultSpec
+
+FAST = dict(n_requests=60, user_pages=2000, queue_depth=16)
+
+CRASH = FaultPlan(faults=(FaultSpec(kind="worker_crash"),))
+
+
+def _spec(policy="SWR", **overrides) -> RunSpec:
+    base = dict(workload="Ali124", policy=policy, pe_cycles=1000.0, seed=3,
+                **FAST)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def _hang(seconds: float) -> FaultPlan:
+    return FaultPlan(faults=(FaultSpec(kind="worker_hang",
+                                       magnitude=seconds),))
+
+
+# --- executor construction ----------------------------------------------------------
+
+
+def test_executor_knob_validation():
+    with pytest.raises(ConfigError):
+        ParallelExecutor(jobs=0)
+    with pytest.raises(ConfigError):
+        ParallelExecutor(jobs=2, cell_timeout_s=0.0)
+    with pytest.raises(ConfigError):
+        ParallelExecutor(jobs=2, max_cell_retries=-1)
+    with pytest.raises(ConfigError):
+        ParallelExecutor(jobs=2, on_failure="ignore")
+    with pytest.raises(ConfigError):
+        SerialExecutor(on_failure="ignore")
+
+
+# --- worker crash -------------------------------------------------------------------
+
+
+def test_crashed_cell_recorded_grid_completes():
+    """The tentpole criterion: a grid with one crashing cell completes all
+    remaining cells and records the failure per-cell."""
+    good = [_spec(), _spec(policy="RiFSSD")]
+    bad = _spec(policy="SENC", fault_plan=CRASH)
+    executor = ParallelExecutor(jobs=2, max_cell_retries=1,
+                                on_failure="record")
+    results = executor.map(good + [bad])
+    assert set(results) == set(good + [bad])
+    for spec in good:
+        assert results[spec] == execute(spec)
+    failure = results[bad]
+    assert isinstance(failure, CellFailure)
+    assert failure.kind == "crash"
+    assert failure.spec_hash == bad.content_hash()
+    assert failure.attempts == 2  # initial try + one bounded retry
+    assert failure.to_dict()["kind"] == "crash"
+
+
+def test_crashed_cell_raises_by_default_naming_spec():
+    bad = _spec(fault_plan=CRASH)
+    executor = ParallelExecutor(jobs=2, max_cell_retries=0)
+    with pytest.raises(CampaignExecutionError, match=bad.content_hash()):
+        executor.map([bad])
+
+
+def test_serial_executor_records_worker_chaos_without_dying():
+    """In-process execution cannot contain a crash directive, so the serial
+    executor deterministically records (or raises) it without executing."""
+    good = _spec()
+    bad = _spec(policy="RiFSSD", fault_plan=CRASH)
+    results = SerialExecutor(on_failure="record").map([good, bad])
+    assert results[good] == execute(good)
+    assert isinstance(results[bad], CellFailure)
+    assert results[bad].kind == "crash"
+    with pytest.raises(CampaignExecutionError):
+        SerialExecutor().map([bad])
+
+
+# --- hangs --------------------------------------------------------------------------
+
+
+def test_hung_cell_times_out_grid_completes():
+    good = _spec()
+    stuck = _spec(policy="RiFSSD", fault_plan=_hang(60.0))
+    executor = ParallelExecutor(jobs=2, cell_timeout_s=1.0,
+                                max_cell_retries=0, on_failure="record")
+    results = executor.map([good, stuck])
+    assert results[good] == execute(good)
+    failure = results[stuck]
+    assert isinstance(failure, CellFailure)
+    assert failure.kind == "timeout"
+    assert failure.spec_hash == stuck.content_hash()
+
+
+# --- deterministic cell errors ------------------------------------------------------
+
+
+def test_cell_error_recorded_not_retried():
+    good = _spec()
+    bad = _spec(policy="NOSUCH")  # resolved (and rejected) in the worker
+    executor = ParallelExecutor(jobs=2, on_failure="record")
+    results = executor.map([good, bad])
+    assert results[good] == execute(good)
+    failure = results[bad]
+    assert isinstance(failure, CellFailure)
+    assert failure.kind == "error"
+    assert failure.attempts == 1  # errors are deterministic: never retried
+    assert "NOSUCH" in failure.message  # the original error is preserved
+    with pytest.raises(CampaignExecutionError, match="NOSUCH"):
+        SerialExecutor().map([bad])
+
+
+# --- run_specs orchestration --------------------------------------------------------
+
+
+def test_run_specs_records_failures_and_never_caches_them(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    good = _spec()
+    bad = _spec(policy="RiFSSD", fault_plan=CRASH)
+    results = run_specs([good, bad], jobs=2, cache=cache,
+                        max_cell_retries=0, on_failure="record")
+    assert results[good] == execute(good)
+    assert isinstance(results[bad], CellFailure)
+    assert len(cache) == 1           # the failure must not be cached
+    assert cache.get(good) == results[good]
+
+
+def test_run_specs_serial_passes_hardening_knobs():
+    bad = _spec(fault_plan=CRASH)
+    results = run_specs([bad], jobs=1, on_failure="record")
+    assert isinstance(results[bad], CellFailure)
+
+
+# --- chaos experiment end-to-end ----------------------------------------------------
+
+
+def test_chaos_experiment_cli_smoke(tmp_path, capsys):
+    """The ISSUE's CLI criterion: the chaos experiment runs end-to-end with
+    ``--jobs 2 --cache`` and reports degradation metrics."""
+    rc = runner.main(["chaos", "--jobs", "2",
+                      "--cache", str(tmp_path / "cache")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "chaos" in out
+    assert "degraded_reads" in out

@@ -1,6 +1,5 @@
 """RP accuracy: Monte-Carlo evaluation and the analytic model."""
 
-import numpy as np
 import pytest
 
 from repro.core.accuracy import (

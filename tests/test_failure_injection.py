@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.config import SSDConfig, small_test_config
-from repro.errors import CapacityError, SimulationError, TraceError
+from repro.config import SSDConfig
+from repro.errors import SimulationError, TraceError
 from repro.ssd.ecc_model import DecodeDraw, ScriptedEccOutcomeModel
 from repro.ssd.simulator import SSDSimulator
 from repro.units import KIB

@@ -1,0 +1,319 @@
+"""Fault injection: deterministic plans, controller mitigation, degradation.
+
+The contract under test (ISSUE acceptance criteria): two runs of the same
+spec+plan produce byte-identical results, and every request either
+completes or raises a typed ``ReproError`` — no silent drops, no hangs.
+"""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.campaign import RunSpec, execute
+from repro.config import small_test_config
+from repro.errors import (
+    DegradedReadError,
+    FaultInjectionError,
+    RetryExhaustedError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.nand.chip import FlashDie
+from repro.nand.geometry import PageAddress
+from repro.ssd.ecc_model import ScriptedEccOutcomeModel
+from repro.ssd.metrics import SimMetrics
+from repro.ssd.simulator import SSDSimulator
+from repro.workloads import generate
+
+#: Same fast sizing the campaign tests use: tens of milliseconds per cell.
+FAST = dict(n_requests=60, user_pages=2000, queue_depth=16)
+
+
+def _spec(plan=None, **overrides) -> RunSpec:
+    base = dict(workload="Ali124", policy="SWR", pe_cycles=1000.0, seed=3,
+                fault_plan=plan, **FAST)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+# --- plan validation and round-trips ------------------------------------------------
+
+
+def test_fault_spec_validation():
+    with pytest.raises(FaultInjectionError):
+        FaultSpec(kind="meteor_strike")
+    with pytest.raises(FaultInjectionError):
+        FaultSpec(kind="transient_sense", period=0)
+    with pytest.raises(FaultInjectionError):
+        FaultSpec(kind="transient_sense", start_read=5, end_read=4)
+    with pytest.raises(FaultInjectionError):
+        FaultSpec(kind="transient_sense", start_us=10.0, end_us=5.0)
+    with pytest.raises(FaultInjectionError):
+        FaultSpec(kind="transient_sense", magnitude=-1.0)
+    with pytest.raises(FaultInjectionError):
+        FaultSpec(kind="ecc_saturation")  # unbounded window
+    with pytest.raises(FaultInjectionError):
+        FaultSpec(kind="die_offline", channel=0)  # no die
+    with pytest.raises(FaultInjectionError):
+        FaultSpec(kind="grown_bad_block")  # no block
+
+
+def test_fault_plan_validation():
+    with pytest.raises(FaultInjectionError):
+        FaultPlan(max_retries=-1)
+    with pytest.raises(FaultInjectionError):
+        FaultPlan(retry_backoff_us=-1.0)
+    with pytest.raises(FaultInjectionError):
+        FaultPlan(on_degraded="panic")
+    with pytest.raises(FaultInjectionError):
+        FaultSpec.from_dict({"kind": "transient_sense", "bogus": 1})
+    with pytest.raises(FaultInjectionError):
+        FaultPlan.from_dict({"faults": [], "bogus": 1})
+
+
+def test_fault_plan_dict_roundtrip():
+    plan = FaultPlan(
+        faults=(
+            FaultSpec(kind="transient_sense", period=7, count=3, magnitude=2),
+            FaultSpec(kind="die_offline", channel=1, die=2, start_read=40),
+            FaultSpec(kind="ecc_saturation", channel=0, start_us=50.0,
+                      end_us=120.0),
+        ),
+        max_retries=3, retry_backoff_us=2.5, on_degraded="raise",
+    )
+    again = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+    assert again == plan
+    # plans coerce dict-form faults too (what RunSpec.from_dict feeds them)
+    assert FaultPlan(faults=tuple(f.to_dict() for f in plan.faults),
+                     max_retries=3, retry_backoff_us=2.5,
+                     on_degraded="raise") == plan
+
+
+def test_plan_splits_simulator_and_worker_faults():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="transient_sense"),
+        FaultSpec(kind="worker_crash"),
+        FaultSpec(kind="worker_hang", magnitude=9.0),
+    ))
+    assert [f.kind for f in plan.simulator_faults()] == ["transient_sense"]
+    assert [f.kind for f in plan.worker_faults()] == ["worker_crash",
+                                                      "worker_hang"]
+
+
+def test_spec_with_plan_hashes_and_roundtrips():
+    bare = _spec()
+    assert "fault_plan" not in bare.to_dict()  # pre-fault-plan hash stability
+    plan = FaultPlan(faults=(FaultSpec(kind="transient_sense", period=5),))
+    spec = _spec(plan)
+    assert spec.content_hash() != bare.content_hash()
+    again = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert again == spec
+    assert again.content_hash() == spec.content_hash()
+
+
+# --- injector trigger evaluation ----------------------------------------------------
+
+
+def test_injector_schedule_is_deterministic():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="transient_sense", start_read=1, period=3, count=2),
+    ))
+    addr = PageAddress(0, 0, 0, 0, 0)
+
+    def firing_reads():
+        injector = FaultInjector(plan)
+        return [i for i in range(12)
+                if injector.on_page_read(addr, float(i)).sense_failures]
+
+    first = firing_reads()
+    assert first == firing_reads()  # pure function of the read sequence
+    assert first == [1, 4]          # period 3 from start_read=1, count 2
+
+
+def test_injector_address_predicate_and_windows():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="latency_spike", channel=1, die=2, magnitude=4.0,
+                  start_us=10.0, end_us=20.0),
+    ))
+    injector = FaultInjector(plan)
+    hit = PageAddress(1, 2, 0, 0, 0)
+    miss = PageAddress(0, 2, 0, 0, 0)
+    assert injector.on_page_read(hit, 15.0).latency_scale == 4.0
+    assert injector.on_page_read(miss, 15.0).latency_scale == 1.0
+    assert injector.on_page_read(hit, 25.0).latency_scale == 1.0  # past window
+
+
+# --- simulator-level injection and mitigation ---------------------------------------
+
+
+def test_transient_sense_mitigated_by_bounded_retry():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="transient_sense", period=7, count=5),
+    ))
+    result = execute(_spec(plan))
+    m = result.metrics
+    assert result.completed
+    assert m.faults_injected == 5
+    assert m.faults_absorbed == 5       # every faulted read still completed
+    assert m.fault_retries >= 5
+    assert m.degraded_reads == 0
+    assert SimMetrics.from_dict(json.loads(json.dumps(m.to_dict()))) == m
+
+
+def test_latency_spike_slows_the_run():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="latency_spike", period=3, magnitude=8.0),
+    ))
+    clean = execute(_spec())
+    slow = execute(_spec(plan))
+    assert slow.completed
+    assert slow.metrics.faults_injected > 0
+    assert slow.metrics.elapsed_us > clean.metrics.elapsed_us
+
+
+def test_channel_corrupt_within_budget_absorbed():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="channel_corrupt", period=11, count=3, magnitude=2),
+    ), max_retries=4)
+    clean = execute(_spec())
+    result = execute(_spec(plan))
+    assert result.completed
+    assert result.metrics.degraded_reads == 0
+    assert (result.metrics.uncorrectable_transfers
+            >= clean.metrics.uncorrectable_transfers + 6)  # 3 firings x 2
+
+
+def test_channel_corrupt_beyond_budget_degrades():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="channel_corrupt", period=17, count=2, magnitude=10),
+    ), max_retries=2)
+    result = execute(_spec(plan))
+    assert result.completed            # degraded reads still complete
+    assert result.metrics.degraded_reads == 2
+
+
+def test_sense_retry_exhaustion_absorb_and_raise():
+    faults = (FaultSpec(kind="transient_sense", period=13, count=2,
+                        magnitude=10),)
+    absorbed = execute(_spec(FaultPlan(faults=faults, max_retries=2)))
+    assert absorbed.completed
+    assert absorbed.metrics.degraded_reads == 2
+    with pytest.raises(RetryExhaustedError):
+        execute(_spec(FaultPlan(faults=faults, max_retries=2,
+                                on_degraded="raise")))
+
+
+def test_die_offline_absorb_and_raise():
+    faults = (FaultSpec(kind="die_offline", channel=0, die=0),)
+    result = execute(_spec(FaultPlan(faults=faults)))
+    assert result.completed
+    assert result.metrics.degraded_reads > 0
+    with pytest.raises(DegradedReadError):
+        execute(_spec(FaultPlan(faults=faults, on_degraded="raise")))
+
+
+def test_grown_bad_block_retired_through_ftl():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="grown_bad_block", block=0, start_read=5, count=1),
+    ))
+    result = execute(_spec(plan))
+    assert result.completed
+    assert result.metrics.retired_blocks == 1
+    assert result.metrics.degraded_reads == 0
+
+
+def test_ecc_saturation_produces_eccwait():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="ecc_saturation", start_us=0.0, end_us=300.0,
+                  magnitude=0),   # hold every slot on every channel
+    ))
+    clean = execute(_spec())
+    stalled = execute(_spec(plan))
+    assert stalled.completed
+    assert stalled.channel_usage.eccwait > clean.channel_usage.eccwait
+
+
+def test_saturation_channel_out_of_range_rejected():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="ecc_saturation", channel=99, start_us=0.0,
+                  end_us=10.0),
+    ))
+    with pytest.raises(FaultInjectionError):
+        execute(_spec(plan))
+
+
+def test_fault_runs_are_deterministic():
+    """The headline determinism criterion: two executions of one spec with
+    a plan exercising every simulator-side fault kind produce identical
+    ``SimulationResult.to_dict()`` payloads."""
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="transient_sense", period=11, count=4, magnitude=2),
+        FaultSpec(kind="latency_spike", period=9, count=5, magnitude=3.0),
+        FaultSpec(kind="channel_corrupt", period=13, count=3),
+        FaultSpec(kind="grown_bad_block", block=0, start_read=5, count=1),
+        FaultSpec(kind="ecc_saturation", channel=0, start_us=50.0,
+                  end_us=120.0, magnitude=0),
+        FaultSpec(kind="die_offline", channel=1, die=1, start_read=40),
+    ))
+    spec = _spec(plan)
+    first = execute(spec)
+    second = execute(spec)
+    assert first.completed
+    assert first.metrics.faults_injected > 0
+    assert first.to_dict() == second.to_dict()
+
+
+# --- scripted ECC-buffer saturation (controller-level, no fault plan) ---------------
+
+
+def test_scripted_full_buffer_stalls_deterministically():
+    """With a one-slot decoder buffer and every first decode failing (each
+    holds its slot for the full failed-decode latency), the channel must
+    accumulate ECCWAIT — and the run must complete identically twice."""
+
+    def run():
+        config = small_test_config()
+        config = replace(config, ecc=replace(config.ecc, buffer_pages=1))
+        trace = generate("Ali124", n_requests=40, user_pages=2000, seed=5)
+        ssd = SSDSimulator(
+            config, policy="SWR", seed=5,
+            outcome_model=ScriptedEccOutcomeModel(
+                decode_script=[False] * 10_000, ecc=config.ecc
+            ),
+        )
+        return ssd.run_trace(trace, queue_depth=8)
+
+    first = run()
+    second = run()
+    assert first.completed
+    assert first.channel_usage.eccwait > 0.0
+    assert first.to_dict() == second.to_dict()
+
+
+# --- functional die model hooks -----------------------------------------------------
+
+
+def test_flash_die_bad_block_and_offline():
+    die = FlashDie(blocks=2, pages_per_block=4, page_bits=64, planes=1,
+                   seed=1)
+    bits = np.zeros(64, dtype=np.uint8)
+    die.program(0, 0, 0, bits)
+    die.mark_bad_block(0, 0)
+    assert die.is_bad_block(0, 0)
+    with pytest.raises(FaultInjectionError):
+        die.read(0, 0, 0)
+    with pytest.raises(FaultInjectionError):
+        die.program(0, 0, 1, bits)
+    die.erase(0, 0)  # retirement flow: relocate, then erase reconditions
+    assert not die.is_bad_block(0, 0)
+    die.set_offline()
+    assert not die.ready
+    with pytest.raises(DegradedReadError):
+        die.read(0, 0, 0)
+    with pytest.raises(DegradedReadError):
+        die.erase(0, 0)
+    die.set_offline(False)
+    assert die.ready
+    die.program(0, 0, 0, bits)
+    assert die.read(0, 0, 0).bits.shape == (64,)

@@ -1,6 +1,5 @@
 """Capability measurement and logistic fit (Fig. 3 machinery)."""
 
-import math
 
 import pytest
 

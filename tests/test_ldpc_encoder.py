@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import CodecError
-from repro.ldpc import SystematicEncoder
 
 
 def test_encoded_words_satisfy_all_checks(code, encoder):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import EccConfig, ReliabilityConfig
+from repro.config import EccConfig
 from repro.errors import ConfigError
 from repro.nand.rber import PageState, RberModel
 

@@ -1,6 +1,5 @@
 """Process-variation model: determinism and statistics."""
 
-import math
 
 import numpy as np
 import pytest

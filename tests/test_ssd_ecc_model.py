@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import EccConfig
 from repro.errors import ConfigError
 from repro.ssd.ecc_model import EccOutcomeModel, ScriptedEccOutcomeModel
 

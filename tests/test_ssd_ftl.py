@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CapacityError, TraceError
+from repro.errors import TraceError
 from repro.ssd.ftl import PageMapFtl
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import small_test_config
 from repro.errors import SimulationError
 from repro.ssd.ftl import PageMapFtl
 from repro.ssd.simulator import SSDSimulator

@@ -18,6 +18,23 @@ def test_request_validation():
         IORequest(-1.0, "R", 0, 100)
 
 
+def test_request_validation_names_offending_field():
+    """A malformed request must be rejected at construction with the bad
+    field named — the error should point at the data, not the symptom."""
+    with pytest.raises(TraceError, match="op"):
+        IORequest(0.0, "read", 0, 100)
+    with pytest.raises(TraceError, match="offset_bytes"):
+        IORequest(0.0, "R", -4096, 100)
+    with pytest.raises(TraceError, match="offset_bytes"):
+        IORequest(0.0, "R", 1.5, 100)  # non-integer offset
+    with pytest.raises(TraceError, match="size_bytes"):
+        IORequest(0.0, "R", 0, -100)
+    with pytest.raises(TraceError, match="size_bytes"):
+        IORequest(0.0, "R", 0, 100.0)  # non-integer size
+    with pytest.raises(TraceError, match="timestamp_us"):
+        IORequest(-0.5, "R", 0, 100)
+
+
 def test_lpn_rasterisation():
     page = 16 * KIB
     # exactly one page
