@@ -9,6 +9,8 @@ SSDone, and RiFSSD, plus the makespans against the paper's 252/418/292 us.
 Run:  python examples/timeline_anatomy.py
 """
 
+from dataclasses import replace
+
 from repro.experiments.fig07_timeline import PAPER_MAKESPANS, run_timeline
 
 _SCALE = 0.25  # one chart column per 4 us
@@ -40,15 +42,14 @@ def main() -> None:
         # summarise per-die sensing on one line each
         for die in (0, 1):
             events = [
-                ev
+                # span events are frozen; re-tag the rendered copies only
+                replace(ev, tag="SENSE")
                 for name, evs in by_resource.items()
                 if name.startswith("plane")
                 for ev in evs
                 # planes are striped channel-first: die = (index // channels) % dies
                 if (int(name[5:]) // 1) % 2 == die
             ]
-            for ev in events:
-                ev.tag = "SENSE"
             print(f"  die{die} |{_bar(events, makespan)}|")
         print()
     print("SSDone pays a doomed transfer + failed 20-us decode per failed "

@@ -18,7 +18,10 @@ that structure explicit:
 * :mod:`.cache` — :class:`ResultCache`, a content-addressed on-disk store
   (spec hash -> result JSON) that skips already-computed cells;
 * :mod:`.serialize` — exact JSON round-tripping of results;
-* :mod:`.progress` — per-cell completion and wall-clock hooks.
+* :mod:`.progress` — per-cell completion and wall-clock hooks, including
+  the streaming telemetry reporters (:class:`LiveProgress` rewriting
+  status line, :class:`JsonlProgress` machine-readable campaign log)
+  built on :mod:`repro.obs.telemetry`.
 """
 
 from .cache import ResultCache
@@ -29,7 +32,15 @@ from .executor import (
     make_executor,
     run_specs,
 )
-from .progress import CampaignStats, PrintProgress, ProgressHook
+from .progress import (
+    CampaignStats,
+    JsonlProgress,
+    LiveProgress,
+    MultiProgress,
+    PrintProgress,
+    ProgressHook,
+    cell_report,
+)
 from .serialize import dump_entry, load_entry, result_from_dict, result_to_dict
 from .spec import (
     RunSpec,
@@ -62,6 +73,10 @@ __all__ = [
     "ProgressHook",
     "CampaignStats",
     "PrintProgress",
+    "LiveProgress",
+    "JsonlProgress",
+    "MultiProgress",
+    "cell_report",
     "dump_entry",
     "load_entry",
     "result_to_dict",

@@ -6,13 +6,22 @@ computed or served from the cache) plus start/finish notifications.
 usually wants (cells executed vs cached, wall clock); :class:`PrintProgress`
 additionally narrates each cell to a stream — what the CLI runner shows
 with ``--progress``.
+
+The streaming reporters forward the same events as telemetry
+(:mod:`repro.obs.telemetry`): :class:`LiveProgress` keeps one rewriting
+status line with an ETA; :class:`JsonlProgress` appends one structured
+record per cell (label, spec hash, wall time, cache hit/miss,
+bandwidth/retry/fault counters) that a dashboard can tail while the grid
+runs; :class:`MultiProgress` fans events out to several hooks at once.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Optional, TextIO
+from typing import List, Optional, TextIO
+
+from ..obs.telemetry import JsonlSink, LiveLineWriter, live_line
 
 
 class ProgressHook:
@@ -79,3 +88,123 @@ class PrintProgress(CampaignStats):
             f"cache in {elapsed_s:.1f}s",
             file=self.stream,
         )
+
+
+def cell_report(spec, outcome, elapsed_s: float, cached: bool) -> dict:
+    """One flat JSON-compatible record describing a finished cell.
+
+    Works for both outcome shapes (duck-typed): a
+    :class:`~repro.ssd.simulator.SimulationResult` contributes bandwidth
+    and retry/fault counters, a
+    :class:`~repro.campaign.executor.CellFailure` its kind and message.
+    """
+    record = {
+        "event": "cell",
+        "label": spec.label(),
+        "spec_hash": spec.content_hash(),
+        "elapsed_s": elapsed_s,
+        "cached": cached,
+    }
+    metrics = getattr(outcome, "metrics", None)
+    if metrics is not None:
+        record.update({
+            "ok": True,
+            "policy": outcome.policy,
+            "completed": outcome.completed,
+            "io_bandwidth_mb_s": metrics.io_bandwidth_mb_s(),
+            "page_reads": metrics.page_reads,
+            "retried_reads": metrics.retried_reads,
+            "retry_rate": metrics.retry_rate(),
+            "uncorrectable_transfers": metrics.uncorrectable_transfers,
+            "faults_injected": metrics.faults_injected,
+            "degraded_reads": metrics.degraded_reads,
+            "elapsed_us": metrics.elapsed_us,
+        })
+    else:  # CellFailure
+        record.update({
+            "ok": False,
+            "kind": outcome.kind,
+            "message": outcome.message,
+            "attempts": outcome.attempts,
+        })
+    return record
+
+
+class LiveProgress(CampaignStats):
+    """Single rewriting terminal line: done/total, cache hits, failures,
+    wall clock, and an ETA extrapolated from executed cells."""
+
+    def __init__(self, stream: TextIO = None):
+        super().__init__()
+        self.failed = 0
+        self._writer = LiveLineWriter(stream)
+        self._last_label = ""
+        self._last_s: Optional[float] = None
+
+    def on_result(self, spec, result, elapsed_s: float, cached: bool) -> None:
+        super().on_result(spec, result, elapsed_s, cached)
+        if getattr(result, "metrics", None) is None:
+            self.failed += 1
+        self._last_label = spec.label()
+        self._last_s = None if cached else elapsed_s
+        self._writer.update(live_line(
+            self.completed, self.total, self.cached, self.failed,
+            time.perf_counter() - self._started_at,
+            self._last_label, self._last_s,
+        ))
+
+    def on_finish(self, elapsed_s: float) -> None:
+        super().on_finish(elapsed_s)
+        self._writer.finish(live_line(
+            self.completed, self.total, self.cached, self.failed, elapsed_s,
+        ))
+
+
+class JsonlProgress(CampaignStats):
+    """Stream one JSON record per event to a file (or open stream).
+
+    Emits a ``start`` record, one ``cell`` record per completed cell (see
+    :func:`cell_report`), and a closing ``finish`` record with the tallies
+    — a machine-readable campaign log that can be tailed live.
+    """
+
+    def __init__(self, target):
+        super().__init__()
+        self.sink = JsonlSink(target)
+
+    def on_start(self, total: int) -> None:
+        super().on_start(total)
+        self.sink.emit({"event": "start", "total": total})
+
+    def on_result(self, spec, result, elapsed_s: float, cached: bool) -> None:
+        super().on_result(spec, result, elapsed_s, cached)
+        self.sink.emit(cell_report(spec, result, elapsed_s, cached))
+
+    def on_finish(self, elapsed_s: float) -> None:
+        super().on_finish(elapsed_s)
+        self.sink.emit({
+            "event": "finish",
+            "executed": self.executed,
+            "cached": self.cached,
+            "wall_clock_s": elapsed_s,
+        })
+        self.sink.close()
+
+
+class MultiProgress(ProgressHook):
+    """Fan progress events out to several hooks (e.g. live line + JSONL)."""
+
+    def __init__(self, hooks: List[ProgressHook]):
+        self.hooks = list(hooks)
+
+    def on_start(self, total: int) -> None:
+        for hook in self.hooks:
+            hook.on_start(total)
+
+    def on_result(self, spec, result, elapsed_s: float, cached: bool) -> None:
+        for hook in self.hooks:
+            hook.on_result(spec, result, elapsed_s, cached)
+
+    def on_finish(self, elapsed_s: float) -> None:
+        for hook in self.hooks:
+            hook.on_finish(elapsed_s)

@@ -16,10 +16,12 @@ simulated makespans plus the full per-resource timeline.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Optional
 
 from ..config import SSDConfig
+from ..obs import SimTracer, TraceConfig, write_chrome_trace
 from ..ssd.ecc_model import ScriptedEccOutcomeModel
-from ..ssd.simulator import SSDSimulator, TimelineTracer
+from ..ssd.simulator import SSDSimulator
 from ..units import KIB
 from ..workloads.trace import IORequest
 from .registry import ExperimentResult, register
@@ -50,7 +52,7 @@ def _scripted_model(policy: str) -> ScriptedEccOutcomeModel:
 
 def run_timeline(policy: str):
     """Run the scenario for one policy; returns (makespan_us, tracer)."""
-    tracer = TimelineTracer()
+    tracer = SimTracer(TraceConfig(enabled=True))
     ssd = SSDSimulator(
         _timeline_config(),
         policy=policy,
@@ -70,13 +72,20 @@ def run_timeline(policy: str):
 
 
 @register("fig7", "Execution timeline of a 256-KiB read (SSDzero/SSDone/RiF)")
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "small", seed: int = 0,
+        trace_out: Optional[str] = None) -> ExperimentResult:
+    """``trace_out=DIR`` additionally exports each policy's execution
+    timeline as Chrome ``trace_event`` JSON (``DIR/trace_<policy>.json``,
+    loadable in ``chrome://tracing``/Perfetto — the interactive Fig. 7)."""
     del scale, seed  # the scenario is fully deterministic and fixed-size
     rows = []
     makespans = {}
     for policy in ("SSDzero", "SSDone", "RiFSSD"):
         makespan, tracer = run_timeline(policy)
         makespans[policy] = makespan
+        if trace_out is not None:
+            write_chrome_trace(f"{trace_out}/trace_{policy}.json", tracer,
+                               title=f"fig7 {policy}")
         by_resource = tracer.by_resource()
         channel_events = by_resource.get("ch0", [])
         rows.append(

@@ -11,12 +11,37 @@ from typing import List, Optional
 from .registry import EXPERIMENTS, get_experiment
 
 
+def _progress_hook(args):
+    """Compose the requested campaign progress reporters (or None)."""
+    hooks = []
+    if args.progress:
+        from ..campaign import PrintProgress
+
+        hooks.append(PrintProgress())
+    if args.live:
+        from ..campaign import LiveProgress
+
+        hooks.append(LiveProgress())
+    if args.telemetry:
+        from ..campaign import JsonlProgress
+
+        hooks.append(JsonlProgress(args.telemetry))
+    if not hooks:
+        return None
+    if len(hooks) == 1:
+        return hooks[0]
+    from ..campaign import MultiProgress
+
+    return MultiProgress(hooks)
+
+
 def _experiment_kwargs(experiment, args) -> dict:
     """Build the kwargs this experiment's ``run`` accepts.
 
     Every experiment takes ``scale`` and ``seed``; the SSD-level campaigns
-    additionally accept ``jobs`` / ``cache_dir`` / ``progress`` — pass the
-    execution options only where they mean something.
+    additionally accept ``jobs`` / ``cache_dir`` / ``progress``, and the
+    timeline experiments ``trace_out`` — pass the execution options only
+    where they mean something.
     """
     kwargs = {"scale": args.scale, "seed": args.seed}
     accepted = inspect.signature(experiment.run).parameters
@@ -24,10 +49,12 @@ def _experiment_kwargs(experiment, args) -> dict:
         kwargs["jobs"] = args.jobs
     if "cache_dir" in accepted:
         kwargs["cache_dir"] = args.cache
-    if "progress" in accepted and args.progress:
-        from ..campaign import PrintProgress
-
-        kwargs["progress"] = PrintProgress()
+    if "progress" in accepted:
+        hook = _progress_hook(args)
+        if hook is not None:
+            kwargs["progress"] = hook
+    if "trace_out" in accepted and args.trace_out:
+        kwargs["trace_out"] = args.trace_out
     return kwargs
 
 
@@ -38,7 +65,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids (e.g. fig17 table2); "
-                             "'all' runs everything")
+                             "'all' runs everything; "
+                             "'report-trace FILE...' summarises exported "
+                             "simulator traces instead")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--scale", default="small", choices=("small", "full"),
                         help="experiment scale (default: small)")
@@ -54,6 +83,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="empty the --cache directory and exit")
     parser.add_argument("--progress", action="store_true",
                         help="report per-cell campaign completion on stderr")
+    parser.add_argument("--live", action="store_true",
+                        help="single rewriting campaign status line with ETA "
+                             "on stderr")
+    parser.add_argument("--telemetry", metavar="FILE", default=None,
+                        help="stream one JSON record per campaign cell "
+                             "(label, wall time, cache hit, counters) to "
+                             "FILE; tail it while the grid runs")
+    parser.add_argument("--trace-out", metavar="DIR", default=None,
+                        help="export Chrome trace_event JSON from "
+                             "trace-capable experiments (e.g. fig7) to DIR; "
+                             "inspect via chrome://tracing or report-trace")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="report-trace: longest spans to list "
+                             "(default: 10)")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also export each result as DIR/<id>.csv")
     parser.add_argument("--report", metavar="FILE", default=None,
@@ -62,6 +105,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    if args.experiments and args.experiments[0] == "report-trace":
+        paths = args.experiments[1:]
+        if not paths:
+            parser.error("report-trace needs at least one trace file "
+                         "(Chrome JSON or JSONL export)")
+        from .report_trace import main as report_trace_main
+
+        return report_trace_main(paths, top=args.top)
 
     if args.wipe_cache:
         if not args.cache:

@@ -117,6 +117,21 @@ class FlashDie:
         self._bad_blocks: set = set()
         #: a stuck/offline die rejects every command until cleared
         self.offline: bool = False
+        self._probes: list = []
+
+    # --- observability (repro.obs instant-event hooks) --------------------------------
+
+    def attach_probe(self, probe) -> None:
+        """Register a passive command observer, called as
+        ``probe(event, **fields)`` after each die command completes.
+        Probes only read state; die behaviour (and its RNG stream) is
+        unchanged whether any are attached."""
+        self._probes.append(probe)
+
+    def _emit(self, event: str, **fields) -> None:
+        if self._probes:
+            for probe in self._probes:
+                probe(event, **fields)
 
     # --- fault injection (repro.faults functional hooks) ------------------------------
 
@@ -126,6 +141,7 @@ class FlashDie:
         erased (retirement reconditions it in this functional model)."""
         self._check_plane_block(plane, block)
         self._bad_blocks.add((plane, block))
+        self._emit("die.bad_block", plane=plane, block=block)
 
     def is_bad_block(self, plane: int, block: int) -> bool:
         self._check_plane_block(plane, block)
@@ -135,6 +151,7 @@ class FlashDie:
         """Take the whole die offline (stuck die) or bring it back."""
         self.offline = offline
         self.ready = not offline
+        self._emit("die.offline" if offline else "die.online")
 
     def _check_operational(self, plane: int, block: int) -> None:
         if self.offline:
@@ -183,6 +200,7 @@ class FlashDie:
             scrambled_bits=stored_bits,
             programmed_at_days=self.now_days,
         )
+        self._emit("die.program", plane=plane, block=block, page=page)
 
     def erase(self, plane: int, block: int) -> None:
         """Erase a block (drops all pages, bumps wear by one cycle).  Also
@@ -195,6 +213,8 @@ class FlashDie:
             self._pages.pop((plane, block, page), None)
         self._pe_cycles[(plane, block)] = self._pe_cycles.get((plane, block), 0.0) + 1
         self._bad_blocks.discard((plane, block))
+        self._emit("die.erase", plane=plane, block=block,
+                   pe_cycles=self._pe_cycles[(plane, block)])
 
     # --- read path ----------------------------------------------------------------------
 
@@ -246,6 +266,9 @@ class FlashDie:
         else:
             bits = noisy
         n_err = self._count_errors(plane, block, page, bits)
+        self._emit("die.read", plane=plane, block=block, page=page,
+                   command=command.name, senses=senses, rber=rber,
+                   bit_errors=n_err)
         return ReadResult(
             bits=bits,
             true_rber=rber,

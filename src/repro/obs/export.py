@@ -1,0 +1,298 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and compact JSONL.
+
+The Chrome format (loadable in ``chrome://tracing`` and Perfetto) maps the
+tracer's streams onto one track per hardware resource — channels first,
+then decoders, planes, the host link, and a ``requests`` track holding
+whole-request lifecycle spans — mirroring the paper's Fig. 7 execution
+timeline.  Timestamps are microseconds, the trace_event native unit, so
+spans read directly in simulated time.
+
+:func:`validate_chrome_trace` is the schema check the CI trace-smoke job
+runs on every exported artefact; it raises ``ValueError`` with a precise
+message on the first malformed event.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from .trace import SimTracer, SpanEvent
+
+#: Single simulated-device process in the trace.
+_PID = 1
+
+
+def _resource_sort_key(name: str):
+    """Deterministic track order: host, channels, decoders, planes, then
+    everything else alphabetically; the requests track goes last."""
+    groups = ("host", "ch", "ecc", "plane")
+    for rank, prefix in enumerate(groups):
+        if name.startswith(prefix):
+            # numeric suffixes sort numerically: ch2 before ch10
+            digits = "".join(c for c in name if c.isdigit())
+            return (rank, int(digits) if digits else 0, name)
+    if name == "requests":
+        return (len(groups) + 1, 0, name)
+    return (len(groups), 0, name)
+
+
+def _span_dict(ev: SpanEvent, tid: int) -> dict:
+    args = {"tag": ev.tag}
+    if ev.kind:
+        args["kind"] = ev.kind
+    if ev.request_id is not None:
+        args["request"] = ev.request_id
+    return {
+        "name": ev.label,
+        "cat": ev.tag,
+        "ph": "X",
+        "ts": ev.start_us,
+        "dur": ev.duration_us,
+        "pid": _PID,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def chrome_trace(tracer: SimTracer, title: str = "repro-ssd") -> dict:
+    """Render a tracer to a Chrome ``trace_event`` JSON object.
+
+    Resource tracks come from the full occupancy stream when the tracer
+    has one (the simulator attaches probes whenever tracing is enabled);
+    otherwise the read-path phase spans serve as the fallback, so a
+    hand-constructed tracer still exports.
+    """
+    spans: List[SpanEvent] = list(
+        tracer.resource_spans if tracer.resource_spans else tracer.events
+    )
+    spans += tracer.request_spans
+    tracks = sorted({ev.resource for ev in spans}, key=_resource_sort_key)
+    if tracer.instants:
+        tracks.append("sim")
+    tids: Dict[str, int] = {name: i for i, name in enumerate(tracks)}
+
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": title},
+    }]
+    for name, tid in tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": name},
+        })
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"sort_index": tid},
+        })
+    events += [_span_dict(ev, tids[ev.resource]) for ev in spans]
+    for inst in tracer.instants:
+        event = {
+            "name": inst.name, "ph": "i", "s": "t",
+            "ts": inst.ts_us, "pid": _PID, "tid": tids["sim"],
+            "args": inst.args_dict(),
+        }
+        if inst.request_id is not None:
+            event["args"]["request"] = inst.request_id
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "dropped_events": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(path, tracer: SimTracer,
+                       title: str = "repro-ssd") -> Path:
+    """Export a tracer as Chrome-loadable JSON; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer, title=title)))
+    return path
+
+
+def validate_chrome_trace(data: dict) -> dict:
+    """Check an exported trace against the ``trace_event`` schema.
+
+    Raises ``ValueError`` naming the first offending event; returns a
+    summary ``{"events": n, "spans": n, "tracks": [...]}`` on success.
+    """
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("trace must be a JSON object with 'traceEvents'")
+    events = data["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+    thread_names: Dict[int, str] = {}
+    spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "i", "C", "B", "E"):
+            raise ValueError(f"event {i}: unsupported phase {ph!r}")
+        if "name" not in ev:
+            raise ValueError(f"event {i}: missing 'name'")
+        if ph == "M":
+            if ev["name"] not in ("process_name", "thread_name",
+                                  "thread_sort_index", "process_sort_index"):
+                raise ValueError(
+                    f"event {i}: unknown metadata {ev['name']!r}"
+                )
+            if ev["name"] == "thread_name":
+                thread_names[ev.get("tid", 0)] = ev["args"]["name"]
+            continue
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)):
+                raise ValueError(f"event {i}: missing numeric {key!r}")
+        if ev["ts"] < 0:
+            raise ValueError(f"event {i}: negative timestamp {ev['ts']}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i}: complete event needs dur >= 0")
+            spans += 1
+    return {
+        "events": len(events),
+        "spans": spans,
+        "tracks": [thread_names[t] for t in sorted(thread_names)],
+    }
+
+
+# --- JSONL ----------------------------------------------------------------
+
+
+def _jsonl_records(tracer: SimTracer) -> Iterable[dict]:
+    for ev in tracer.resource_spans:
+        yield {"type": "resource", "resource": ev.resource, "tag": ev.tag,
+               "label": ev.label, "start_us": ev.start_us,
+               "end_us": ev.end_us}
+    for ev in tracer.events:
+        yield {"type": "phase", "resource": ev.resource, "tag": ev.tag,
+               "label": ev.label, "start_us": ev.start_us,
+               "end_us": ev.end_us, "kind": ev.kind,
+               "request": ev.request_id}
+    for ev in tracer.request_spans:
+        yield {"type": "request", "label": ev.label, "tag": ev.tag,
+               "start_us": ev.start_us, "end_us": ev.end_us,
+               "request": ev.request_id}
+    for inst in tracer.instants:
+        yield {"type": "instant", "name": inst.name, "ts_us": inst.ts_us,
+               "request": inst.request_id, "args": inst.args_dict()}
+
+
+def write_events_jsonl(path, tracer: SimTracer) -> Path:
+    """Compact one-event-per-line JSON log of every tracer stream."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for record in _jsonl_records(tracer):
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+# --- loading (report-trace CLI) -------------------------------------------
+
+
+def load_trace_spans(path) -> List[dict]:
+    """Read span records back from either export format.
+
+    Returns flat dicts with ``track``, ``name``, ``tag``, ``start_us`` and
+    ``dur_us`` keys — enough for the ``report-trace`` summary table.
+    """
+    path = Path(path)
+    text = path.read_text()
+    spans: List[dict] = []
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict) and "traceEvents" in data:
+        names = {}
+        for ev in data["traceEvents"]:
+            if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+                names[ev.get("tid", 0)] = ev["args"]["name"]
+        for ev in data["traceEvents"]:
+            if ev.get("ph") != "X":
+                continue
+            spans.append({
+                "track": names.get(ev.get("tid"), str(ev.get("tid"))),
+                "name": ev.get("name", ""),
+                "tag": (ev.get("args") or {}).get("tag", ev.get("cat", "")),
+                "start_us": float(ev["ts"]),
+                "dur_us": float(ev["dur"]),
+            })
+        return spans
+    records: List[dict] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_no}: not JSON ({exc})") from exc
+        if record.get("type") in ("resource", "phase", "request"):
+            records.append(record)
+    # Resource spans are the full occupancy stream; the read-path phase
+    # spans double-cover the same channel time, so (matching chrome_trace)
+    # phases only stand in when no resource stream was recorded.
+    if any(r["type"] == "resource" for r in records):
+        records = [r for r in records if r["type"] != "phase"]
+    for record in records:
+        spans.append({
+            "track": record.get("resource", "requests"),
+            "name": record.get("label", ""),
+            "tag": record.get("tag", ""),
+            "start_us": float(record["start_us"]),
+            "dur_us": float(record["end_us"]) - float(record["start_us"]),
+        })
+    if not spans:
+        raise ValueError(f"{path}: no spans found (Chrome JSON or JSONL?)")
+    return spans
+
+
+def summarize_spans(spans: List[dict]) -> List[dict]:
+    """Per-track rollup rows for the ``report-trace`` table."""
+    per_track: Dict[str, dict] = {}
+    for span in spans:
+        row = per_track.setdefault(span["track"], {
+            "track": span["track"], "spans": 0, "busy_us": 0.0,
+            "first_us": span["start_us"], "last_us": 0.0, "tags": {},
+        })
+        row["spans"] += 1
+        row["busy_us"] += span["dur_us"]
+        row["first_us"] = min(row["first_us"], span["start_us"])
+        row["last_us"] = max(row["last_us"],
+                             span["start_us"] + span["dur_us"])
+        tag = span["tag"] or "?"
+        row["tags"][tag] = row["tags"].get(tag, 0.0) + span["dur_us"]
+    rows = []
+    for name in sorted(per_track, key=_resource_sort_key):
+        row = per_track[name]
+        span = row["last_us"] - row["first_us"]
+        tags = " ".join(
+            f"{tag}:{us:.0f}" for tag, us in
+            sorted(row["tags"].items(), key=lambda kv: -kv[1])
+        )
+        rows.append({
+            "track": name,
+            "spans": row["spans"],
+            "busy_us": row["busy_us"],
+            "util": row["busy_us"] / span if span > 0 else 0.0,
+            "window_us": span,
+            "by_tag_us": tags,
+        })
+    return rows
+
+
+def longest_spans(spans: List[dict], top: int = 10) -> List[dict]:
+    """The ``top`` longest spans, for the report's hot-spot table."""
+    ranked = sorted(spans, key=lambda s: -s["dur_us"])[:top]
+    return [
+        {"track": s["track"], "name": s["name"], "tag": s["tag"],
+         "start_us": s["start_us"], "dur_us": s["dur_us"]}
+        for s in ranked
+    ]

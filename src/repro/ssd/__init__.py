@@ -27,8 +27,14 @@ from .retry_policies import (
     make_policy,
 )
 from .ftl import PageMapFtl
-from .metrics import SimMetrics, ChannelUsage
-from .simulator import SSDSimulator, SimulationResult
+from .metrics import SimMetrics, ChannelUsage, percentile
+from .simulator import (
+    RESULT_SCHEMA_VERSION,
+    SSDSimulator,
+    SimulationResult,
+    TimelineEvent,
+    TimelineTracer,
+)
 from .host import ClosedLoopHost, MultiQueueHost, TimedReplayHost
 from .refresh import RefreshAssessment, RefreshPlanner
 from .energy import EnergyBreakdown, EnergyConfig, EnergyModel
@@ -50,8 +56,12 @@ __all__ = [
     "PageMapFtl",
     "SimMetrics",
     "ChannelUsage",
+    "percentile",
     "SSDSimulator",
     "SimulationResult",
+    "RESULT_SCHEMA_VERSION",
+    "TimelineTracer",
+    "TimelineEvent",
     "ClosedLoopHost",
     "MultiQueueHost",
     "TimedReplayHost",

@@ -6,15 +6,25 @@ including Sentinel's spare-cell reads and RPSSD's aborted pages),
 **ECCWAIT** (channel idle *because* the decoder's input buffer is full),
 and **IDLE** (everything else).  Host writes and GC relocations are tracked
 separately so read-oriented comparisons stay clean.
+
+Latency distributions are kept two ways: streaming
+:class:`~repro.obs.histogram.LatencyHistogram` buckets (always on, O(1)
+memory — the path million-request campaigns use) and, by default, the raw
+per-request lists the original experiments were written against.  Pass
+``keep_raw_latencies=False`` (:class:`SimMetrics` field, forwarded by
+:class:`~repro.ssd.simulator.SSDSimulator`) to drop the raw lists;
+percentiles and CDFs then come from the histogram at its documented
+bucket resolution.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Sequence
 
 from ..errors import SimulationError
+from ..obs.histogram import LatencyHistogram
 from ..units import bytes_per_us_to_mb_per_s
 
 
@@ -35,11 +45,18 @@ class ChannelUsage:
 
     def to_dict(self) -> Dict[str, float]:
         """JSON-compatible dict; :meth:`from_dict` round-trips exactly."""
-        return asdict(self)
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @classmethod
     def from_dict(cls, data: Dict[str, float]) -> "ChannelUsage":
-        return cls(**data)
+        """Rebuild from a dict, ignoring unknown keys.
+
+        Tolerating extra keys is what keeps old readers working on cache
+        entries written by a newer schema (forward compatibility); missing
+        required keys still raise, so a truncated entry reads as corrupt.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     def fractions(self) -> Dict[str, float]:
         """Normalised shares, the Fig.-18 stacked bars."""
@@ -57,11 +74,24 @@ class ChannelUsage:
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of a pre-sorted sequence."""
+    """Nearest-rank percentile of a pre-sorted sequence.
+
+    Nearest-rank semantics: the returned value is the element at rank
+    ``ceil(q/100 * n)`` (1-based), i.e. the smallest sample such that at
+    least ``q`` percent of the distribution is at or below it.  That
+    definition covers ``q`` in (0, 100] only — ``q = 0`` is rejected
+    instead of silently returning the minimum (which is also what any
+    ``q < 100/n`` used to do via rank clamping; those small-but-positive
+    quantiles legitimately resolve to the minimum, ``q = 0`` does not
+    resolve to anything).
+    """
     if not sorted_values:
         raise SimulationError("no samples for percentile")
-    if not 0 <= q <= 100:
-        raise SimulationError("percentile out of range")
+    if not 0 < q <= 100:
+        raise SimulationError(
+            f"percentile q must be in (0, 100], got {q!r} "
+            "(nearest-rank is undefined at q=0; use min() for the floor)"
+        )
     rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
     return float(sorted_values[rank - 1])
 
@@ -89,17 +119,50 @@ class SimMetrics:
     fault_retries: int = 0        # extra sense/transfer attempts spent on faults
     retired_blocks: int = 0       # grown-bad-block retirements
     degraded_reads: int = 0       # reads failed (absorbed) in degraded mode
+    # --- streaming latency distributions (repro.obs) ---
+    #: always-on fixed-bucket histograms; the O(1)-memory latency path
+    read_latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
+    write_latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: keep the exact per-request latency lists (the legacy unbounded
+    #: path); disable for million-request runs
+    keep_raw_latencies: bool = True
+
+    # --- recording ---------------------------------------------------------------
+
+    def record_read_latency(self, latency_us: float) -> None:
+        self.read_latency_hist.record(latency_us)
+        if self.keep_raw_latencies:
+            self.read_latencies_us.append(latency_us)
+
+    def record_write_latency(self, latency_us: float) -> None:
+        self.write_latency_hist.record(latency_us)
+        if self.keep_raw_latencies:
+            self.write_latencies_us.append(latency_us)
 
     # --- serialisation -----------------------------------------------------------
 
     def to_dict(self) -> dict:
         """JSON-compatible dict; :meth:`from_dict` round-trips exactly
         (floats survive JSON at ``repr`` precision)."""
-        return asdict(self)
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, LatencyHistogram):
+                value = value.to_dict()
+            out[f.name] = value
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimMetrics":
-        metrics = cls(**data)
+        """Rebuild from a dict, ignoring unknown keys (so cache entries
+        written by a newer schema still load) and defaulting the fields a
+        pre-histogram entry lacks."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        for key in ("read_latency_hist", "write_latency_hist"):
+            if key in kwargs:
+                kwargs[key] = LatencyHistogram.from_dict(kwargs[key])
+        metrics = cls(**kwargs)
         # JSON has no tuple/list distinction; normalise to fresh lists so a
         # round-tripped instance is independent of the source dict
         metrics.read_latencies_us = [float(v) for v in metrics.read_latencies_us]
@@ -135,12 +198,23 @@ class SimMetrics:
     # --- latency distribution ---------------------------------------------------------
 
     def read_latency_percentile(self, q: float) -> float:
-        return percentile(sorted(self.read_latencies_us), q)
+        """Nearest-rank read-latency percentile.
+
+        Exact (raw-list path) when raw latencies are kept; otherwise the
+        streaming histogram answers, accurate to one log bucket
+        (:attr:`~repro.obs.histogram.LatencyHistogram.relative_error`) and
+        exact at the extremes.
+        """
+        if self.read_latencies_us:
+            return percentile(sorted(self.read_latencies_us), q)
+        return self.read_latency_hist.percentile(q)
 
     def read_latency_cdf(self, points: int = 100) -> List[tuple]:
         """(latency_us, cumulative_fraction) pairs — the Fig.-19 curves."""
         lats = sorted(self.read_latencies_us)
         if not lats:
+            if self.read_latency_hist.count:
+                return self.read_latency_hist.cdf(points)
             raise SimulationError("no read latencies recorded")
         out = []
         n = len(lats)

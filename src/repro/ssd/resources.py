@@ -34,6 +34,10 @@ class Job:
     can_start: Optional[Callable[[], bool]] = None
     #: larger runs first when the resource arbitrates (see ``arbitrated``)
     priority: int = 0
+    #: human-readable span label for observability probes (optional)
+    label: Optional[str] = None
+    #: stamped by the resource when the job actually starts running
+    started_at: Optional[float] = None
 
 
 class SerialResource:
@@ -56,8 +60,21 @@ class SerialResource:
         self.busy_time_by_tag: Dict[str, float] = {}
         self.blocked_time: float = 0.0
         self.jobs_completed: int = 0
+        self._probes: List[Callable] = []
 
     # --- public API ------------------------------------------------------------
+
+    def attach_probe(
+        self, probe: Callable[[str, str, float, float, Optional[str]], None]
+    ) -> None:
+        """Register a passive occupancy observer.
+
+        Each probe is called as ``probe(name, tag, start_us, end_us, label)``
+        when a job finishes or a blocked (gated-head) interval closes — the
+        latter with tag ``"ECCWAIT"``.  Probes only observe; they must not
+        touch the event queue, which keeps traced runs bit-identical.
+        """
+        self._probes.append(probe)
 
     def submit(self, job: Job) -> None:
         """Enqueue a job; it starts as soon as the resource frees up and its
@@ -115,6 +132,7 @@ class SerialResource:
             job = self._queue[chosen]
             del self._queue[chosen]
         self._busy = True
+        job.started_at = self.sim.now
         if job.on_start is not None:
             job.on_start()
         self.sim.after(job.duration, lambda: self._finish(job))
@@ -125,20 +143,30 @@ class SerialResource:
             self.busy_time_by_tag.get(job.tag, 0.0) + job.duration
         )
         self.jobs_completed += 1
+        if self._probes:
+            for probe in self._probes:
+                probe(self.name, job.tag, job.started_at, self.sim.now,
+                      job.label)
         if job.on_complete is not None:
             job.on_complete()
         self._try_start()
 
     def _settle_blocked(self, unblocked: bool) -> None:
         if self._blocked_since is not None and unblocked:
-            self.blocked_time += self.sim.now - self._blocked_since
-            self._blocked_since = None
+            self._close_blocked()
+
+    def _close_blocked(self) -> None:
+        start = self._blocked_since
+        self.blocked_time += self.sim.now - start
+        self._blocked_since = None
+        if self._probes and self.sim.now > start:
+            for probe in self._probes:
+                probe(self.name, "ECCWAIT", start, self.sim.now, None)
 
     def finalize(self) -> None:
         """Close any open blocked interval at the end of a run."""
         if self._blocked_since is not None:
-            self.blocked_time += self.sim.now - self._blocked_since
-            self._blocked_since = None
+            self._close_blocked()
 
 
 class EccEngine:
@@ -206,7 +234,8 @@ class EccEngine:
     # --- decoding ---------------------------------------------------------------------
 
     def submit_decode(
-        self, duration: float, tag: str, on_complete: Callable[[], None]
+        self, duration: float, tag: str, on_complete: Callable[[], None],
+        label: Optional[str] = None,
     ) -> None:
         """Queue a decode; the buffer slot is released after completion,
         then ``on_complete`` runs."""
@@ -215,4 +244,6 @@ class EccEngine:
             self.release_slot()
             on_complete()
 
-        self.decoder.submit(Job(duration=duration, tag=tag, on_complete=finish))
+        self.decoder.submit(
+            Job(duration=duration, tag=tag, on_complete=finish, label=label)
+        )

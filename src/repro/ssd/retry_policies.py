@@ -90,6 +90,21 @@ class ReadPlan:
     def total_channel_time(self) -> float:
         return sum(p.duration for p in self.phases if p.kind is PhaseKind.TRANSFER)
 
+    def trace_args(self) -> dict:
+        """Compact JSON-compatible summary attached to ``read.plan`` trace
+        instants — enough to explain *why* a traced read took its path."""
+        args = {
+            "rber": self.rber,
+            "senses": self.senses,
+            "phases": len(self.phases),
+            "retried": self.retried,
+            "in_die_retry": self.in_die_retry,
+            "uncorrectable_transfers": self.uncorrectable_transfers,
+        }
+        if self.rp_predicted_retry is not None:
+            args["rp_predicted_retry"] = self.rp_predicted_retry
+        return args
+
 
 class PolicyName(str, enum.Enum):
     """Registry keys of the evaluated SSD configurations."""

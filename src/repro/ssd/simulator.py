@@ -10,14 +10,26 @@ compiles every page read into a timed phase plan.
 
 Use :meth:`SSDSimulator.run_trace` for whole-workload runs, or
 :meth:`SSDSimulator.submit_request` + :meth:`SSDSimulator.run` for custom
-drivers; :class:`TimelineTracer` records per-phase events for the Fig. 7/8
-execution-timeline experiments.
+drivers.  Observability (all off by default, all passive — a traced run is
+bit-identical to an untraced one):
+
+* ``trace_config=TraceConfig(enabled=True)`` records per-request lifecycle
+  spans (queued -> sense(s) -> plan decision -> transfer -> decode -> retry
+  hops) plus full resource-occupancy streams into a
+  :class:`~repro.obs.trace.SimTracer`; export with
+  :meth:`export_chrome_trace` or :func:`repro.obs.write_events_jsonl`.
+  ``TimelineTracer`` / ``TimelineEvent`` are kept as aliases of the new
+  classes for the Fig. 7/8 execution-timeline experiments.
+* ``snapshot_interval_us`` bins channel usage and counters into fixed
+  windows (:class:`~repro.obs.snapshots.SnapshotRecorder`).
+* ``keep_raw_latencies=False`` drops the unbounded per-request latency
+  lists; the always-on streaming histograms keep serving percentiles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Optional
 
 from ..config import SSDConfig
 from ..errors import (
@@ -29,6 +41,9 @@ from ..errors import (
 )
 from ..faults import FaultInjector, FaultPlan, ReadFaultDecision
 from ..nand.geometry import AddressMapper, PageAddress
+from ..obs.export import write_chrome_trace
+from ..obs.snapshots import SnapshotRecorder
+from ..obs.trace import SimTracer, SpanEvent, TraceConfig
 from ..rng import SeedLike, make_rng, spawn
 from ..units import SEC
 from ..workloads.trace import IORequest, Trace
@@ -50,32 +65,15 @@ from .retry_policies import (
 )
 
 
-@dataclass
-class TimelineEvent:
-    """One recorded phase for the execution-timeline experiments."""
+#: Legacy names for the structured tracer — same classes, same ``events``
+#: stream and ``by_resource()`` view the timeline experiments were built on.
+TimelineTracer = SimTracer
+TimelineEvent = SpanEvent
 
-    label: str
-    resource: str
-    start_us: float
-    end_us: float
-    tag: str
-
-
-class TimelineTracer:
-    """Optional recorder of every resource occupancy interval."""
-
-    def __init__(self):
-        self.events: List[TimelineEvent] = []
-
-    def record(self, label: str, resource: str, start: float, end: float,
-               tag: str) -> None:
-        self.events.append(TimelineEvent(label, resource, start, end, tag))
-
-    def by_resource(self) -> Dict[str, List[TimelineEvent]]:
-        out: Dict[str, List[TimelineEvent]] = {}
-        for ev in self.events:
-            out.setdefault(ev.resource, []).append(ev)
-        return out
+#: Version stamp written into every serialised :class:`SimulationResult`.
+#: Readers ignore keys they do not know (see the ``from_dict`` methods), so
+#: bumping this only matters for tooling that wants to warn on mismatch.
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -102,6 +100,7 @@ class SimulationResult:
     def to_dict(self) -> dict:
         """JSON-compatible dict; :meth:`from_dict` round-trips exactly."""
         return {
+            "schema_version": RESULT_SCHEMA_VERSION,
             "policy": self.policy,
             "pe_cycles": self.pe_cycles,
             "workload": self.workload,
@@ -112,6 +111,8 @@ class SimulationResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild from a dict; only known keys are read, so payloads
+        written by a newer schema version still load."""
         return cls(
             policy=data["policy"],
             pe_cycles=data["pe_cycles"],
@@ -125,15 +126,19 @@ class SimulationResult:
 class _RequestState:
     """Tracks completion of a multi-page host request."""
 
-    __slots__ = ("remaining", "started_us", "is_read", "bytes", "on_complete")
+    __slots__ = ("remaining", "started_us", "is_read", "bytes", "on_complete",
+                 "request_id", "traced")
 
     def __init__(self, remaining: int, started_us: float, is_read: bool,
-                 nbytes: int, on_complete: Optional[Callable[[], None]]):
+                 nbytes: int, on_complete: Optional[Callable[[], None]],
+                 request_id: int = 0, traced: bool = False):
         self.remaining = remaining
         self.started_us = started_us
         self.is_read = is_read
         self.bytes = nbytes
         self.on_complete = on_complete
+        self.request_id = request_id
+        self.traced = traced
 
 
 class SSDSimulator:
@@ -153,9 +158,14 @@ class SSDSimulator:
         operating_temp_c: Optional[float] = None,
         channel_arbitration: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        trace_config: Optional[TraceConfig] = None,
+        snapshot_interval_us: Optional[float] = None,
+        keep_raw_latencies: bool = True,
     ):
         self.config = config or SSDConfig()
         self.sim = Simulator()
+        if tracer is None and trace_config is not None and trace_config.enabled:
+            tracer = SimTracer(trace_config)
         self.tracer = tracer
         g = self.config.geometry
         self.mapper = AddressMapper(g)
@@ -201,7 +211,7 @@ class SSDSimulator:
         )
         self.pe_cycles = pe_cycles
         self.ftl = PageMapFtl(self.config)
-        self.metrics = SimMetrics()
+        self.metrics = SimMetrics(keep_raw_latencies=keep_raw_latencies)
         #: reads a block tolerates before read-disturb relocation (None =
         #: management off; real parts use ~100K, scale it to the trace)
         self.read_disturb_threshold = read_disturb_threshold
@@ -227,6 +237,21 @@ class SSDSimulator:
         ]
         for channel, ecc in zip(self.channels, self.eccs):
             ecc.subscribe_on_release(channel.kick)
+
+        # --- observability wiring (repro.obs; all hooks are passive) ---
+        self._requests_submitted = 0
+        if (self.tracer is not None and self.tracer.config.enabled
+                and self.tracer.config.trace_resources):
+            for resource in (*self.channels, *self.planes, self.host_link):
+                resource.attach_probe(self.tracer.record_resource)
+            for ecc in self.eccs:
+                ecc.decoder.attach_probe(self.tracer.record_resource)
+        self.snapshots: Optional[SnapshotRecorder] = None
+        if snapshot_interval_us is not None:
+            self.snapshots = SnapshotRecorder(snapshot_interval_us,
+                                              channels=g.channels)
+            for channel in self.channels:
+                channel.attach_probe(self.snapshots.observe_span)
 
         self._page_size = g.page_size
         self._host_page_us = self._page_size / self.config.bandwidth.host_bytes_per_us
@@ -268,13 +293,25 @@ class SSDSimulator:
                        on_complete: Optional[Callable[[], None]] = None) -> None:
         """Admit one host request; pages fan out immediately."""
         lpns = list(request.lpns(self._page_size))
+        request_id = self._requests_submitted
+        self._requests_submitted += 1
+        traced = (self.tracer is not None
+                  and self.tracer.trace_request(request_id))
         state = _RequestState(
             remaining=len(lpns),
             started_us=self.sim.now,
             is_read=request.is_read,
             nbytes=request.size_bytes,
             on_complete=on_complete,
+            request_id=request_id,
+            traced=traced,
         )
+        if traced and self.tracer.config.trace_requests:
+            self.tracer.record_instant(
+                "request.queued", self.sim.now, request_id=request_id,
+                args={"op": "read" if request.is_read else "write",
+                      "bytes": request.size_bytes, "pages": len(lpns)},
+            )
         for lpn in lpns:
             if request.is_read:
                 self._start_page_read(lpn, state)
@@ -288,6 +325,10 @@ class SSDSimulator:
         self.metrics.elapsed_us = self.sim.now
         for resource in (*self.channels, *self.planes, self.host_link):
             resource.finalize()
+        # snapshots consume the channels' closing ECCWAIT probes above, so
+        # the window series freezes only after every interval is closed
+        if self.snapshots is not None and not self.snapshots.finalized:
+            self.snapshots.finalize(self.sim.now)
 
     # --- page read ---------------------------------------------------------------------------
 
@@ -315,6 +356,11 @@ class SSDSimulator:
         )
         plan = self.policy.plan_read(rber)
         self._account_plan(plan)
+        if state.traced and self.tracer.config.trace_requests:
+            self.tracer.record_instant(
+                "read.plan", self.sim.now, request_id=state.request_id,
+                args=dict(plan.trace_args(), lpn=lpn),
+            )
         self._execute_plan(plan, target.address, state, label=f"R:lpn{lpn}",
                            faults=faults)
         if (self.read_disturb_threshold is not None
@@ -390,6 +436,12 @@ class SSDSimulator:
         m.retried_reads += int(plan.retried)
         m.in_die_retries += int(plan.in_die_retry)
         m.uncorrectable_transfers += plan.uncorrectable_transfers
+        if self.snapshots is not None:
+            now = self.sim.now
+            self.snapshots.note("page_reads", now)
+            self.snapshots.note("senses", now, plan.senses)
+            if plan.retried:
+                self.snapshots.note("retried_reads", now)
 
     def _execute_plan(self, plan: ReadPlan, address: PageAddress,
                       state: _RequestState, label: str,
@@ -425,17 +477,18 @@ class SSDSimulator:
 
             if phase.kind is PhaseKind.SENSE:
                 self._submit_traced(
-                    plane, phase.duration, "SENSE", label, advance
+                    plane, phase.duration, "SENSE", label, advance,
+                    state=state, kind="sense",
                 )
             elif phase.kind is PhaseKind.TRANSFER:
                 if phase.decode_us is None:
                     self._submit_traced(
                         channel, phase.duration, phase.tag, label, advance,
-                        priority=1,
+                        priority=1, state=state, kind="transfer",
                     )
                 else:
                     self._submit_transfer_with_decode(
-                        channel, ecc, phase, label, advance
+                        channel, ecc, phase, label, advance, state=state
                     )
             else:  # pragma: no cover - enum is closed
                 raise SimulationError(f"unknown phase kind {phase.kind}")
@@ -501,17 +554,24 @@ class SSDSimulator:
                 else:
                     self.sim.after(backoff, lambda: attempt(nxt))
 
-            self._submit_traced(plane, t_read, "FAULT", label, after_sense)
+            self._submit_traced(plane, t_read, "FAULT", label, after_sense,
+                                state=state, kind="fault")
 
         attempt(0)
 
     def _submit_traced(self, resource: SerialResource, duration: float,
                        tag: str, label: str, on_complete: Callable[[], None],
-                       priority: int = 0) -> None:
-        if self.tracer is None:
+                       priority: int = 0,
+                       state: Optional[_RequestState] = None,
+                       kind: str = "") -> None:
+        traced = (self.tracer is not None
+                  and (state is None or state.traced))
+        if not traced:
             resource.submit(Job(duration=duration, tag=tag,
-                                on_complete=on_complete, priority=priority))
+                                on_complete=on_complete, priority=priority,
+                                label=label))
             return
+        rid = state.request_id if state is not None else None
         start_holder = {}
 
         def on_start() -> None:
@@ -519,18 +579,23 @@ class SSDSimulator:
 
         def done() -> None:
             self.tracer.record(label, resource.name, start_holder["t"],
-                               self.sim.now, tag)
+                               self.sim.now, tag, kind=kind, request_id=rid)
             on_complete()
 
         resource.submit(Job(duration=duration, tag=tag,
                             on_start=on_start, on_complete=done,
-                            priority=priority))
+                            priority=priority, label=label))
 
     def _submit_transfer_with_decode(self, channel: SerialResource,
                                      ecc: EccEngine, phase: Phase, label: str,
-                                     advance: Callable[[], None]) -> None:
+                                     advance: Callable[[], None],
+                                     state: Optional[_RequestState] = None,
+                                     ) -> None:
         """Channel transfer gated on a free decoder-buffer slot, followed by
         the decode itself."""
+        traced = (self.tracer is not None
+                  and (state is None or state.traced))
+        rid = state.request_id if state is not None else None
         start_holder = {}
 
         def on_start() -> None:
@@ -538,18 +603,21 @@ class SSDSimulator:
             start_holder["t"] = self.sim.now
 
         def after_transfer() -> None:
-            if self.tracer is not None:
+            if traced:
                 self.tracer.record(label, channel.name, start_holder["t"],
-                                   self.sim.now, phase.tag)
+                                   self.sim.now, phase.tag, kind="transfer",
+                                   request_id=rid)
             decode_start = self.sim.now
 
             def after_decode() -> None:
-                if self.tracer is not None:
+                if traced:
                     self.tracer.record(label, ecc.name, decode_start,
-                                       self.sim.now, phase.tag)
+                                       self.sim.now, phase.tag, kind="decode",
+                                       request_id=rid)
                 advance()
 
-            ecc.submit_decode(phase.decode_us, phase.tag, after_decode)
+            ecc.submit_decode(phase.decode_us, phase.tag, after_decode,
+                              label=label)
 
         channel.submit(Job(
             duration=phase.duration,
@@ -558,6 +626,7 @@ class SSDSimulator:
             on_complete=after_transfer,
             can_start=ecc.can_reserve,
             priority=1,
+            label=label,
         ))
 
     def _finish_page_read(self, state: _RequestState) -> None:
@@ -634,10 +703,23 @@ class SSDSimulator:
         latency = self.sim.now - state.started_us
         if state.is_read:
             self.metrics.host_read_bytes += state.bytes
-            self.metrics.read_latencies_us.append(latency)
+            self.metrics.record_read_latency(latency)
         else:
             self.metrics.host_write_bytes += state.bytes
-            self.metrics.write_latencies_us.append(latency)
+            self.metrics.record_write_latency(latency)
+        if self.snapshots is not None:
+            key = "host_read_bytes" if state.is_read else "host_write_bytes"
+            self.snapshots.note(key, self.sim.now, state.bytes)
+        if state.traced and self.tracer.config.trace_requests:
+            op = "read" if state.is_read else "write"
+            self.tracer.record_request_span(
+                state.request_id, f"{op}:req{state.request_id}",
+                state.started_us, self.sim.now, tag=op.upper(),
+            )
+            self.tracer.record_instant(
+                "request.done", self.sim.now, request_id=state.request_id,
+                args={"latency_us": latency},
+            )
         if state.on_complete is not None:
             state.on_complete()
 
@@ -661,6 +743,17 @@ class SSDSimulator:
             cor=cor, uncor=uncor, write=write, gc=gc,
             eccwait=eccwait, idle=max(total - busy, 0.0),
         )
+
+    def export_chrome_trace(self, path, title: Optional[str] = None):
+        """Write the run's trace as Chrome ``trace_event`` JSON (open in
+        ``chrome://tracing`` or Perfetto); requires tracing to be enabled."""
+        if self.tracer is None:
+            raise SimulationError(
+                "no tracer attached; construct the simulator with "
+                "trace_config=TraceConfig(enabled=True)"
+            )
+        name = title or f"{self.policy.name.value} @ {self.pe_cycles:g} P/E"
+        return write_chrome_trace(path, self.tracer, title=name)
 
     # --- workload runs -------------------------------------------------------------------------------
 

@@ -1,0 +1,146 @@
+"""Streaming latency histogram: parity with exact percentiles, bounds,
+merging, and JSON round-trips."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.histogram import LatencyHistogram
+from repro.rng import make_rng
+from repro.ssd.metrics import SimMetrics, percentile
+
+
+def _samples(n=5000, seed=13):
+    rng = make_rng(seed)
+    # lognormal with a heavy tail, the shape of retry-laden read latencies
+    return [float(v) for v in 80.0 * rng.lognormal(0.0, 0.9, n)]
+
+
+@pytest.mark.parametrize("q", [50.0, 99.0, 99.9])
+def test_percentile_parity_with_exact(q):
+    values = _samples()
+    hist = LatencyHistogram()
+    for v in values:
+        hist.record(v)
+    exact = percentile(sorted(values), q)
+    approx = hist.percentile(q)
+    err = hist.relative_error
+    # bucket upper edge: at most one bucket above the exact sample
+    assert exact * (1 - 1e-12) <= approx <= exact * (1 + err) * (1 + 1e-12)
+
+
+def test_extremes_are_exact():
+    values = _samples(n=500)
+    hist = LatencyHistogram()
+    for v in values:
+        hist.record(v)
+    assert hist.percentile(100.0) == max(values)
+    assert hist.min_us == min(values)
+    assert hist.count == len(values)
+    assert hist.sum_us == pytest.approx(sum(values))
+
+
+def test_q_zero_rejected_everywhere():
+    hist = LatencyHistogram()
+    hist.record(1.0)
+    with pytest.raises(SimulationError):
+        hist.percentile(0)
+    with pytest.raises(SimulationError):
+        hist.percentile(101)
+    with pytest.raises(SimulationError):
+        percentile([1.0, 2.0], 0)
+
+
+def test_empty_histogram_rejects_queries():
+    hist = LatencyHistogram()
+    with pytest.raises(SimulationError):
+        hist.percentile(50)
+    with pytest.raises(SimulationError):
+        hist.cdf()
+
+
+def test_relative_error_matches_bucket_width():
+    hist = LatencyHistogram(buckets_per_decade=64)
+    assert hist.relative_error == pytest.approx(10 ** (1 / 64) - 1)
+    # ~3.7% at the default resolution
+    assert hist.relative_error < 0.04
+
+
+def test_under_and_overflow_counted():
+    hist = LatencyHistogram(lo_us=1.0, hi_us=100.0)
+    hist.record(0.5)
+    hist.record(10.0)
+    hist.record(1e6)
+    assert hist.underflow == 1
+    assert hist.overflow == 1
+    assert hist.count == 3
+    # extremes stay exact even out of bucket range
+    assert hist.percentile(100) == 1e6
+    assert hist.min_us == 0.5
+
+
+def test_merge_equals_single_stream():
+    values = _samples(n=800)
+    one = LatencyHistogram()
+    a, b = LatencyHistogram(), LatencyHistogram()
+    for i, v in enumerate(values):
+        one.record(v)
+        (a if i % 2 else b).record(v)
+    a.merge(b)
+    assert a.counts == one.counts
+    assert (a.count, a.min_us, a.max_us) == (one.count, one.min_us, one.max_us)
+    # summation order differs between the streams, so sums match to ulps
+    assert a.sum_us == pytest.approx(one.sum_us)
+
+
+def test_json_roundtrip_and_unknown_keys():
+    hist = LatencyHistogram()
+    for v in _samples(n=300):
+        hist.record(v)
+    data = hist.to_dict()
+    assert hist == LatencyHistogram.from_dict(data)
+    data["from_the_future"] = {"x": 1}
+    assert hist == LatencyHistogram.from_dict(data)
+
+
+def test_cdf_is_monotone_and_complete():
+    hist = LatencyHistogram()
+    for v in _samples(n=1000):
+        hist.record(v)
+    points = hist.cdf(50)
+    fractions = [f for _v, f in points]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+    lats = [v for v, _f in points]
+    assert all(b >= a for a, b in zip(lats, lats[1:]))
+
+
+def test_simmetrics_histogram_fallback():
+    """Percentiles keep working when raw lists are disabled (O(1) mode)."""
+    values = _samples(n=2000)
+    kept = SimMetrics()
+    slim = SimMetrics(keep_raw_latencies=False)
+    for v in values:
+        kept.record_read_latency(v)
+        slim.record_read_latency(v)
+    assert slim.read_latencies_us == []
+    assert kept.read_latencies_us == values
+    err = slim.read_latency_hist.relative_error
+    for q in (50, 99, 99.9):
+        exact = kept.read_latency_percentile(q)
+        approx = slim.read_latency_percentile(q)
+        assert exact * (1 - 1e-12) <= approx <= exact * (1 + err) * (1 + 1e-12)
+    # CDF falls back to the histogram as well
+    cdf = slim.read_latency_cdf(20)
+    assert cdf[-1][1] == pytest.approx(1.0)
+
+
+def test_record_is_constant_memory():
+    hist = LatencyHistogram()
+    for v in _samples(n=4000):
+        hist.record(v)
+    decades = math.log10(hist.hi_us / hist.lo_us)
+    assert len(hist.counts) <= decades * hist.buckets_per_decade
+    # far fewer live buckets than samples: the whole point
+    assert len(hist.counts) < 500

@@ -1,0 +1,82 @@
+"""Time-sliced usage snapshots: exact window splitting and sim integration."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.errors import SimulationError
+from repro.obs.snapshots import SnapshotRecorder
+from repro.ssd.simulator import SSDSimulator
+from repro.workloads import generate
+
+
+def test_recorder_validation():
+    with pytest.raises(SimulationError):
+        SnapshotRecorder(0.0, channels=1)
+    with pytest.raises(SimulationError):
+        SnapshotRecorder(10.0, channels=0)
+
+
+def test_span_split_across_windows_is_exact():
+    rec = SnapshotRecorder(10.0, channels=1)
+    rec.observe_span("ch0", "COR", 5.0, 25.0)
+    rec.finalize(30.0)
+    per_window = [s.busy_us.get("COR", 0.0) for s in rec.snapshots()]
+    assert per_window == pytest.approx([5.0, 10.0, 5.0])
+    assert sum(per_window) == pytest.approx(20.0)
+
+
+def test_counters_bin_by_time():
+    rec = SnapshotRecorder(10.0, channels=1)
+    rec.note("page_reads", 1.0)
+    rec.note("page_reads", 9.5)
+    rec.note("host_read_bytes", 12.0, value=4096)
+    rec.finalize(20.0)
+    snaps = rec.snapshots()
+    assert snaps[0].counters["page_reads"] == 2
+    assert snaps[1].counters["host_read_bytes"] == 4096
+    assert rec.series("page_reads") == [2, 0]
+
+
+def test_snapshots_require_finalize():
+    rec = SnapshotRecorder(10.0, channels=1)
+    with pytest.raises(SimulationError):
+        rec.snapshots()
+
+
+def test_window_usage_partitions_wall_clock():
+    rec = SnapshotRecorder(10.0, channels=2)
+    rec.observe_span("ch0", "COR", 0.0, 6.0)
+    rec.observe_span("ch1", "ECCWAIT", 2.0, 10.0)
+    rec.finalize(10.0)
+    usage = rec.snapshots()[0].usage()
+    assert usage.cor == pytest.approx(6.0)
+    assert usage.eccwait == pytest.approx(8.0)
+    assert usage.total == pytest.approx(20.0)  # window_us x channels
+    assert usage.idle == pytest.approx(6.0)
+
+
+def test_simulator_snapshots_reconcile_with_totals():
+    """Summing any tag over all windows reproduces the end-of-run channel
+    accounting, and binned counters reproduce the metric totals."""
+    ssd = SSDSimulator(small_test_config(), policy="RiFSSD", pe_cycles=2000,
+                       seed=31, snapshot_interval_us=1000.0)
+    trace = generate("Sys0", n_requests=150, user_pages=3000, seed=31)
+    result = ssd.run_trace(trace)
+    snaps = ssd.snapshots.snapshots()
+    assert snaps[-1].end_us >= result.metrics.elapsed_us
+
+    usage = result.channel_usage
+    for tag, expect in (("COR", usage.cor), ("UNCOR", usage.uncor),
+                        ("WRITE", usage.write), ("GC", usage.gc),
+                        ("ECCWAIT", usage.eccwait)):
+        windowed = sum(s.busy_us.get(tag, 0.0) for s in snaps)
+        assert windowed == pytest.approx(expect, rel=1e-9, abs=1e-6), tag
+
+    m = result.metrics
+    assert sum(s.counters.get("host_read_bytes", 0) for s in snaps) == \
+        m.host_read_bytes
+    assert sum(s.counters.get("page_reads", 0) for s in snaps) == m.page_reads
+    assert sum(s.counters.get("senses", 0) for s in snaps) == m.total_senses
+    # at least one window reports nonzero read bandwidth
+    assert any(s.read_bandwidth_mb_s() > 0 for s in snaps)
+    assert all(s.to_dict()["channels"] == len(ssd.channels) for s in snaps)

@@ -1,0 +1,172 @@
+"""Tracing subsystem: determinism, reconciliation, sampling, exporters."""
+
+import json
+
+import pytest
+
+from repro.config import small_test_config
+from repro.errors import ConfigError, SimulationError
+from repro.obs import (
+    SimTracer,
+    TraceConfig,
+    chrome_trace,
+    load_trace_spans,
+    longest_spans,
+    summarize_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.ssd.simulator import SSDSimulator, TimelineEvent, TimelineTracer
+from repro.workloads import generate
+
+USAGE_TAGS = ("COR", "UNCOR", "WRITE", "GC", "ECCWAIT")
+
+
+def _run(trace_config=None, **kw):
+    ssd = SSDSimulator(small_test_config(), policy="RiFSSD", pe_cycles=2000,
+                       seed=31, trace_config=trace_config, **kw)
+    trace = generate("Sys0", n_requests=150, user_pages=3000, seed=31)
+    result = ssd.run_trace(trace)
+    return ssd, result
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return _run(trace_config=TraceConfig(enabled=True))
+
+
+def test_trace_config_validation():
+    with pytest.raises(ConfigError):
+        TraceConfig(sample_every=0)
+    with pytest.raises(ConfigError):
+        TraceConfig(max_events=0)
+
+
+def test_legacy_aliases_are_new_classes():
+    from repro.obs.trace import SpanEvent
+
+    assert TimelineTracer is SimTracer
+    assert TimelineEvent is SpanEvent
+
+
+def test_tracing_is_bit_identical():
+    """Enabling every observability feature must not change the result."""
+    _ssd, plain = _run()
+    _ssd, observed = _run(trace_config=TraceConfig(enabled=True),
+                          snapshot_interval_us=500.0)
+    assert observed.to_dict() == plain.to_dict()
+
+
+def test_sampled_trace_is_subset_and_bit_identical():
+    ssd_all, full = _run(trace_config=TraceConfig(enabled=True))
+    ssd_some, sampled = _run(
+        trace_config=TraceConfig(enabled=True, sample_every=5))
+    assert sampled.to_dict() == full.to_dict()
+    all_ids = set(ssd_all.tracer.traced_request_ids())
+    some_ids = set(ssd_some.tracer.traced_request_ids())
+    assert some_ids
+    assert some_ids < all_ids
+    assert all(rid % 5 == 0 for rid in some_ids)
+
+
+def test_resource_spans_reconcile_with_channel_usage(traced):
+    """Acceptance criterion: per-channel span totals must reproduce the
+    Fig.-18 ChannelUsage breakdown (COR+UNCOR+WRITE+GC+ECCWAIT; idle is
+    the wall-clock remainder) within float tolerance."""
+    ssd, result = traced
+    busy = ssd.tracer.resource_busy_by_tag()
+    total = {tag: 0.0 for tag in USAGE_TAGS}
+    for i in range(len(ssd.channels)):
+        for tag, us in busy.get(f"ch{i}", {}).items():
+            assert tag in total, f"unexpected channel tag {tag}"
+            total[tag] += us
+    usage = result.channel_usage
+    assert total["COR"] == pytest.approx(usage.cor, rel=1e-9, abs=1e-6)
+    assert total["UNCOR"] == pytest.approx(usage.uncor, rel=1e-9, abs=1e-6)
+    assert total["WRITE"] == pytest.approx(usage.write, rel=1e-9, abs=1e-6)
+    assert total["GC"] == pytest.approx(usage.gc, rel=1e-9, abs=1e-6)
+    assert total["ECCWAIT"] == pytest.approx(usage.eccwait, rel=1e-9,
+                                             abs=1e-6)
+    accounted = sum(total.values()) + usage.idle
+    wall = result.metrics.elapsed_us * len(ssd.channels)
+    assert accounted == pytest.approx(wall, rel=1e-9)
+
+
+def test_request_spans_cover_read_lifecycles(traced):
+    ssd, result = traced
+    reads = [ev for ev in ssd.tracer.request_spans if ev.tag == "READ"]
+    assert len(reads) == len(result.metrics.read_latencies_us)
+    latencies = sorted(result.metrics.read_latencies_us)
+    span_latencies = sorted(ev.duration_us for ev in reads)
+    assert span_latencies == pytest.approx(latencies)
+    names = {inst.name for inst in ssd.tracer.instants}
+    assert {"request.queued", "read.plan", "request.done"} <= names
+
+
+def test_plan_instants_carry_retry_args(traced):
+    ssd, result = traced
+    plans = [inst for inst in ssd.tracer.instants if inst.name == "read.plan"]
+    assert len(plans) == result.metrics.page_reads
+    retried = [p for p in plans if p.args_dict()["retried"]]
+    assert len(retried) == result.metrics.retried_reads
+    assert sum(p.args_dict()["senses"] for p in plans) == \
+        result.metrics.total_senses
+
+
+def test_max_events_degrades_to_counter():
+    ssd, _result = _run(trace_config=TraceConfig(enabled=True, max_events=50))
+    assert ssd.tracer.total_events <= 50
+    assert ssd.tracer.dropped > 0
+
+
+def test_chrome_trace_schema(traced, tmp_path):
+    ssd, _result = traced
+    data = chrome_trace(ssd.tracer)
+    summary = validate_chrome_trace(data)
+    assert summary["spans"] > 0
+    assert "ch0" in summary["tracks"]
+    assert "requests" in summary["tracks"]
+    # on-disk export round-trips through json and still validates
+    path = write_chrome_trace(tmp_path / "trace.json", ssd.tracer)
+    assert validate_chrome_trace(json.loads(path.read_text())) == summary
+
+
+def test_validate_rejects_malformed():
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"foo": []})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"ph": "X", "name": "x",
+                                                "ts": 0, "pid": 1, "tid": 0}]})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"ph": "??", "name": "x"}]})
+
+
+def test_span_loading_agrees_across_formats(traced, tmp_path):
+    ssd, _result = traced
+    chrome = load_trace_spans(write_chrome_trace(tmp_path / "t.json",
+                                                 ssd.tracer))
+    jsonl = load_trace_spans(write_events_jsonl(tmp_path / "t.jsonl",
+                                                ssd.tracer))
+    def busy(spans, track):
+        return sum(s["dur_us"] for s in spans if s["track"] == track)
+
+    for track in ("ch0", "host", "requests"):
+        assert busy(chrome, track) == pytest.approx(busy(jsonl, track))
+    rows = summarize_spans(chrome)
+    assert any(r["track"] == "ch0" and r["busy_us"] > 0 for r in rows)
+    top = longest_spans(chrome, top=5)
+    assert len(top) == 5
+    assert top[0]["dur_us"] >= top[-1]["dur_us"]
+
+
+def test_export_requires_tracer(tmp_path):
+    ssd, _result = _run()
+    with pytest.raises(SimulationError):
+        ssd.export_chrome_trace(tmp_path / "x.json")
+
+
+def test_export_chrome_trace_method(tmp_path):
+    ssd, _result = _run(trace_config=TraceConfig(enabled=True))
+    path = ssd.export_chrome_trace(tmp_path / "run.json")
+    validate_chrome_trace(json.loads(path.read_text()))
