@@ -1,0 +1,20 @@
+"""Repo-root pytest configuration.
+
+``pyproject.toml`` sets ``timeout = 300`` for pytest-timeout, which is a
+dev extra: environments without it (the minimal install, some CI legs)
+would warn ``Unknown config option: timeout`` on every run.  Register the
+option as an inert ini key in that case — pytest-timeout registers the
+real one itself when present, and double registration is an error, hence
+the guard.
+"""
+
+import importlib.util
+
+
+def pytest_addoption(parser):
+    if importlib.util.find_spec("pytest_timeout") is None:
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (no-op: pytest-timeout not installed)",
+            default=None,
+        )

@@ -123,7 +123,7 @@ class SerialExecutor:
         self.on_failure = _check_on_failure(on_failure)
 
     def _fail(self, results: Dict[RunSpec, CellOutcome], spec: RunSpec,
-              kind: str, message: str, report: ReportFn = None) -> None:
+              kind: str, message: str, report: Optional[ReportFn] = None) -> None:
         failure = CellFailure(spec_hash=spec.content_hash(),
                               label=spec.label(), kind=kind,
                               message=message, attempts=1)
@@ -137,7 +137,7 @@ class SerialExecutor:
             report(spec, failure, 0.0)
 
     def map(self, specs: Sequence[RunSpec],
-            report: ReportFn = None) -> Dict[RunSpec, CellOutcome]:
+            report: Optional[ReportFn] = None) -> Dict[RunSpec, CellOutcome]:
         traces = {}
         results: Dict[RunSpec, CellOutcome] = {}
         for spec in specs:
@@ -182,7 +182,7 @@ class ParallelExecutor:
     recording a :class:`CellFailure` in the result mapping.
     """
 
-    def __init__(self, jobs: int = None, cell_timeout_s: float = None,
+    def __init__(self, jobs: Optional[int] = None, cell_timeout_s: Optional[float] = None,
                  max_cell_retries: int = 1, on_failure: str = "raise"):
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -198,7 +198,7 @@ class ParallelExecutor:
         self.on_failure = _check_on_failure(on_failure)
 
     def map(self, specs: Sequence[RunSpec],
-            report: ReportFn = None) -> Dict[RunSpec, CellOutcome]:
+            report: Optional[ReportFn] = None) -> Dict[RunSpec, CellOutcome]:
         if not specs:
             return {}
         return _PoolRun(self, list(specs), report).run()
@@ -412,7 +412,7 @@ class _PoolRun:
                     break
 
 
-def make_executor(jobs: Optional[int] = 1, cell_timeout_s: float = None,
+def make_executor(jobs: Optional[int] = 1, cell_timeout_s: Optional[float] = None,
                   max_cell_retries: int = 1, on_failure: str = "raise"):
     """``jobs=1`` -> serial; otherwise a process pool with ``jobs`` workers
     (``None`` -> all cores).  The hardening knobs apply to the parallel
@@ -428,8 +428,8 @@ def run_specs(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = 1,
     cache: "ResultCache | str | os.PathLike | None" = None,
-    progress: ProgressHook = None,
-    cell_timeout_s: float = None,
+    progress: Optional[ProgressHook] = None,
+    cell_timeout_s: Optional[float] = None,
     max_cell_retries: int = 1,
     on_failure: str = "raise",
 ) -> Dict[RunSpec, CellOutcome]:

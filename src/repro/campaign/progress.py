@@ -68,7 +68,7 @@ class CampaignStats(ProgressHook):
 class PrintProgress(CampaignStats):
     """Narrate per-cell completion and the final tally to a stream."""
 
-    def __init__(self, stream: TextIO = None):
+    def __init__(self, stream: Optional[TextIO] = None):
         super().__init__()
         self.stream = stream or sys.stderr
 
@@ -134,7 +134,7 @@ class LiveProgress(CampaignStats):
     """Single rewriting terminal line: done/total, cache hits, failures,
     wall clock, and an ETA extrapolated from executed cells."""
 
-    def __init__(self, stream: TextIO = None):
+    def __init__(self, stream: Optional[TextIO] = None):
         super().__init__()
         self.failed = 0
         self._writer = LiveLineWriter(stream)

@@ -10,6 +10,8 @@ finite float, so a result loaded from JSON compares equal to the original.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import json
 
 from ..errors import ConfigError
@@ -37,7 +39,7 @@ def dump_entry(spec: RunSpec, result: SimulationResult) -> str:
     )
 
 
-def load_entry(text: str, expected_spec: RunSpec = None) -> SimulationResult:
+def load_entry(text: str, expected_spec: Optional[RunSpec] = None) -> SimulationResult:
     """Parse a cache entry, optionally verifying it belongs to ``spec``.
 
     Raises :class:`ConfigError` on schema mismatch or spec mismatch — the

@@ -282,7 +282,7 @@ def build_simulator(spec: RunSpec) -> SSDSimulator:
     )
 
 
-def execute(spec: RunSpec, trace: Trace = None) -> SimulationResult:
+def execute(spec: RunSpec, trace: Optional[Trace] = None) -> SimulationResult:
     """Run one spec to completion.
 
     ``trace`` may be supplied to share a pre-generated trace across specs

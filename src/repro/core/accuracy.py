@@ -47,8 +47,8 @@ def evaluate_rp_accuracy(
     use_pruning: bool = True,
     chunks_per_page: int = 1,
     decoder: str = "min-sum",
-    capability_rber: float = None,
-    threshold: int = None,
+    capability_rber: Optional[float] = None,
+    threshold: Optional[int] = None,
     seed: SeedLike = 99,
 ) -> List[RpAccuracyPoint]:
     """Run the Fig.-11/14 validation study.
@@ -154,7 +154,7 @@ class RpAccuracyModel:
 
     @classmethod
     def for_code(cls, code: QcLdpcCode, capability_rber: float,
-                 failure_curve: CapabilityCurve = None) -> "RpAccuracyModel":
+                 failure_curve: Optional[CapabilityCurve] = None) -> "RpAccuracyModel":
         """Analytic model matching a concrete code's pruned RP."""
         stats = SyndromeStatistics.pruned_for(code)
         curve = failure_curve or CapabilityCurve.paper_nominal()

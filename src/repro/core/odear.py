@@ -81,8 +81,8 @@ class CodewordPipeline:
     Read direction: restore segment layout -> LDPC decode -> descramble.
     """
 
-    def __init__(self, code: QcLdpcCode, decoder: MinSumDecoder = None,
-                 randomizer: Randomizer = None, rearrange: bool = True):
+    def __init__(self, code: QcLdpcCode, decoder: Optional[MinSumDecoder] = None,
+                 randomizer: Optional[Randomizer] = None, rearrange: bool = True):
         self.code = code
         self.encoder = SystematicEncoder(code)
         self.decoder = decoder or MinSumDecoder(code)
@@ -121,7 +121,7 @@ class CodewordPipeline:
 class OdearEngine:
     """The on-die early-retry engine of a RiF-enabled flash die."""
 
-    def __init__(self, rp: ReadRetryPredictor, rvs: ReadVoltageSelector = None):
+    def __init__(self, rp: ReadRetryPredictor, rvs: Optional[ReadVoltageSelector] = None):
         self.rp = rp
         self.rvs = rvs or ReadVoltageSelector()
 
@@ -187,7 +187,7 @@ class ConventionalReadPath:
     decode; on failure walk the vendor retry table until the page decodes or
     the table is exhausted."""
 
-    def __init__(self, pipeline: CodewordPipeline, max_retries: int = None):
+    def __init__(self, pipeline: CodewordPipeline, max_retries: Optional[int] = None):
         self.pipeline = pipeline
         self.max_retries = max_retries
 

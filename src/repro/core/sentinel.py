@@ -80,7 +80,7 @@ class SentinelEstimator:
     leakage scale, from which per-boundary corrections follow exactly as in
     Swift-Read."""
 
-    def __init__(self, vth: TlcVthModel = None):
+    def __init__(self, vth: Optional[TlcVthModel] = None):
         self.vth = vth or TlcVthModel()
 
     def _predicted_rber(self, scale: float, page_type: PageType) -> float:
@@ -142,8 +142,8 @@ class SentinelReadPath:
     :meth:`prepare_page` builds the image to program."""
 
     def __init__(self, pipeline: CodewordPipeline,
-                 codec: SentinelCodec = None,
-                 estimator: SentinelEstimator = None,
+                 codec: Optional[SentinelCodec] = None,
+                 estimator: Optional[SentinelEstimator] = None,
                  max_retries: int = 4):
         if max_retries < 1:
             raise ConfigError("max_retries must be >= 1")

@@ -71,7 +71,7 @@ def chaos_plan(intensity: str) -> Optional[FaultPlan]:
 
 @register("chaos", "Retry policies under deterministic fault injection")
 def run(scale: str = "small", seed: int = 7, jobs: int = 1,
-        cache_dir: str = None, progress=None) -> ExperimentResult:
+        cache_dir: Optional[str] = None, progress=None) -> ExperimentResult:
     specs = {
         (intensity, policy): RunSpec(
             workload=CHAOS_WORKLOAD, policy=policy, pe_cycles=1000.0,

@@ -8,6 +8,8 @@ four read-intensive workloads Ali121, Ali124, Sys0, Sys1.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .common import PE_POINTS, geomean, run_grid
 from .registry import ExperimentResult, register
 
@@ -16,7 +18,7 @@ WORKLOADS = ("Ali121", "Ali124", "Sys0", "Sys1")
 
 @register("fig6", "I/O bandwidth of SSDone vs SSDzero")
 def run(scale: str = "small", seed: int = 7, jobs: int = 1,
-        cache_dir: str = None, progress=None) -> ExperimentResult:
+        cache_dir: Optional[str] = None, progress=None) -> ExperimentResult:
     results = run_grid(WORKLOADS, ("SSDzero", "SSDone"), PE_POINTS, scale,
                        seed, jobs=jobs, cache_dir=cache_dir, progress=progress)
     rows = []

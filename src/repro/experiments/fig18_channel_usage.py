@@ -8,6 +8,8 @@ while RiFSSD's UNCOR share is 1.8% in Ali121 at 2K (vs 19.9% for RPSSD).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .common import PE_POINTS, run_grid
 from .registry import ExperimentResult, register
 
@@ -17,7 +19,7 @@ POLICIES = ("SENC", "SWR", "SWR+", "RPSSD", "RiFSSD")
 
 @register("fig18", "Channel usage breakdown (COR/UNCOR/ECCWAIT/IDLE)")
 def run(scale: str = "small", seed: int = 7, jobs: int = 1,
-        cache_dir: str = None, progress=None) -> ExperimentResult:
+        cache_dir: Optional[str] = None, progress=None) -> ExperimentResult:
     results = run_grid(WORKLOADS, POLICIES, PE_POINTS, scale, seed,
                        jobs=jobs, cache_dir=cache_dir, progress=progress)
     rows = []

@@ -8,6 +8,8 @@ p50/p95/p99/p99.9 (the sample counts cannot resolve p99.99).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .common import PE_POINTS, run_grid
 from .registry import ExperimentResult, register
 
@@ -18,7 +20,7 @@ PERCENTILES = (50.0, 95.0, 99.0, 99.9)
 
 @register("fig19", "Read-latency CDF and tail latency in Ali124")
 def run(scale: str = "small", seed: int = 7, jobs: int = 1,
-        cache_dir: str = None, progress=None) -> ExperimentResult:
+        cache_dir: Optional[str] = None, progress=None) -> ExperimentResult:
     results = run_grid((WORKLOAD,), POLICIES, PE_POINTS, scale, seed,
                        jobs=jobs, cache_dir=cache_dir, progress=progress)
     rows = []

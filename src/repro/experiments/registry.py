@@ -31,7 +31,7 @@ class ExperimentResult:
                     names.append(key)
         return names
 
-    def format_table(self, max_rows: int = None) -> str:
+    def format_table(self, max_rows: Optional[int] = None) -> str:
         """Plain-text table of the rows (benchmarks print this)."""
         if not self.rows:
             return f"[{self.experiment_id}] (no rows)"

@@ -16,6 +16,8 @@ RBER — Fig. 3(b))."""
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 from dataclasses import dataclass
 
@@ -151,7 +153,7 @@ class GallagerBDecoder:
     min-sum but ~10x faster, with the same qualitative waterfall."""
 
     def __init__(self, code: QcLdpcCode, max_iterations: int = 20,
-                 flip_threshold: int = None):
+                 flip_threshold: Optional[int] = None):
         if max_iterations < 1:
             raise CodecError("max_iterations must be >= 1")
         self.code = code

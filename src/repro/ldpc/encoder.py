@@ -19,6 +19,8 @@ cached on the instance.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..errors import CodecError
@@ -47,9 +49,9 @@ class SystematicEncoder:
     def __init__(self, code: QcLdpcCode):
         self.code = code
         self._prepared = False
-        self._info_cols: np.ndarray = None
-        self._pivot_cols: np.ndarray = None
-        self._enc_matrix: np.ndarray = None  # (rank, k_eff) uint8
+        self._info_cols: Optional[np.ndarray] = None
+        self._pivot_cols: Optional[np.ndarray] = None
+        self._enc_matrix: Optional[np.ndarray] = None  # (rank, k_eff) uint8
         self._rank = 0
 
     # --- preparation -----------------------------------------------------------------

@@ -11,6 +11,8 @@ ECCWAIT in SecIII-B3.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..config import EccConfig
 from ..errors import ConfigError
 
@@ -18,7 +20,7 @@ from ..errors import ConfigError
 class EccLatencyModel:
     """Maps RBER (and decode outcome) to decoder latency in microseconds."""
 
-    def __init__(self, ecc: EccConfig = None, growth_exponent: float = 3.0):
+    def __init__(self, ecc: Optional[EccConfig] = None, growth_exponent: float = 3.0):
         if growth_exponent <= 0:
             raise ConfigError("growth_exponent must be positive")
         self.ecc = ecc or EccConfig()

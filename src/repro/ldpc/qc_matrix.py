@@ -24,6 +24,8 @@ code is regular: column weight ``r``, row weight ``c``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from functools import cached_property
 
 import numpy as np
@@ -35,7 +37,7 @@ from ..errors import CodecError
 class QcLdpcCode:
     """A constructed QC-LDPC code with the index structures decoders need."""
 
-    def __init__(self, config: LdpcCodeConfig = None):
+    def __init__(self, config: Optional[LdpcCodeConfig] = None):
         self.config = config or LdpcCodeConfig()
         r, c, t = (
             self.config.block_rows,
@@ -94,6 +96,31 @@ class QcLdpcCode:
                 check = i * t + a
                 edges[vars_j, i] = check * self.c + j
         return edges
+
+    @cached_property
+    def row0_gather(self) -> np.ndarray:
+        """(n,) flat gather indices of the block-row-0 rotation: position
+        ``j*t + a`` of the output maps to codeword bit
+        ``j*t + (a + C[0][j]) mod t`` — column ``a`` of segment ``j``
+        after the left-rotation by its block-row-0 shift.
+
+        One fancy-index with this table replaces the per-circulant
+        ``np.roll`` Python loop in :mod:`repro.ldpc.syndrome` (codeword
+        rearrangement and the pruned syndrome are both this rotation, the
+        latter followed by an XOR reduction)."""
+        a = np.arange(self.t)
+        within = (a[None, :] + self.shifts[0][:, None]) % self.t
+        base = np.arange(self.c)[:, None] * self.t
+        return (within + base).ravel().astype(np.intp)
+
+    @cached_property
+    def row0_scatter(self) -> np.ndarray:
+        """(n,) flat inverse of :attr:`row0_gather`: undoes the
+        rearrangement on the read path before off-chip decoding."""
+        a = np.arange(self.t)
+        within = (a[None, :] - self.shifts[0][:, None]) % self.t
+        base = np.arange(self.c)[:, None] * self.t
+        return (within + base).ravel().astype(np.intp)
 
     @cached_property
     def dense_h(self) -> np.ndarray:

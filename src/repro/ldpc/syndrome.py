@@ -27,11 +27,15 @@ from ..errors import CodecError
 from .qc_matrix import QcLdpcCode
 
 
-def _segments(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+def _flat_word(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
     bits = np.asarray(bits, dtype=np.uint8)
     if bits.shape != (code.n,):
         raise CodecError(f"expected {code.n}-bit word, got {bits.shape}")
-    return bits.reshape(code.c, code.t)
+    return bits
+
+
+def _segments(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    return _flat_word(code, bits).reshape(code.c, code.t)
 
 
 def syndrome(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
@@ -46,15 +50,18 @@ def syndrome_weight(code: QcLdpcCode, bits: np.ndarray) -> int:
 
 def pruned_syndrome(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
     """The first ``t`` syndromes only (block row 0 of H) — the syndrome
-    pruning approximation of SecV-A2."""
-    segs = _segments(code, bits)
-    t = code.t
-    acc = np.zeros(t, dtype=np.uint8)
-    for j in range(code.c):
-        shift = int(code.shifts[0, j])
-        # check a of block row 0 uses bit (a + shift) mod t of segment j
-        acc ^= np.roll(segs[j], -shift)
-    return acc
+    pruning approximation of SecV-A2.
+
+    Check ``a`` of block row 0 uses bit ``(a + C[0][j]) mod t`` of segment
+    ``j``; the precomputed :attr:`~repro.ldpc.qc_matrix.QcLdpcCode.row0_gather`
+    table turns the whole computation into one flat gather plus one XOR
+    reduction (bit-identical to the per-circulant ``np.roll`` loop it
+    replaced — see :func:`repro.perf.kernels.pruned_syndrome_reference`).
+    """
+    flat = _flat_word(code, bits)
+    return np.bitwise_xor.reduce(
+        flat[code.row0_gather].reshape(code.c, code.t), axis=0
+    )
 
 
 def pruned_syndrome_weight(code: QcLdpcCode, bits: np.ndarray) -> int:
@@ -65,22 +72,18 @@ def pruned_syndrome_weight(code: QcLdpcCode, bits: np.ndarray) -> int:
 def rearrange_codeword(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
     """Controller-side layout change applied after ECC encoding, before
     programming: rotate segment ``j`` left by ``C[0][j]`` so the on-die
-    pruned-syndrome computation becomes a plain XOR of segments."""
-    segs = _segments(code, bits)
-    out = np.empty_like(segs)
-    for j in range(code.c):
-        out[j] = np.roll(segs[j], -int(code.shifts[0, j]))
-    return out.reshape(code.n)
+    pruned-syndrome computation becomes a plain XOR of segments.
+
+    Vectorized: one flat gather over all segments at once."""
+    return _flat_word(code, bits)[code.row0_gather]
 
 
 def restore_codeword(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
     """Inverse of :func:`rearrange_codeword`, applied by the controller on
-    the read path before off-chip LDPC decoding."""
-    segs = _segments(code, bits)
-    out = np.empty_like(segs)
-    for j in range(code.c):
-        out[j] = np.roll(segs[j], int(code.shifts[0, j]))
-    return out.reshape(code.n)
+    the read path before off-chip LDPC decoding.
+
+    Vectorized: the inverse gather of :func:`rearrange_codeword`."""
+    return _flat_word(code, bits)[code.row0_scatter]
 
 
 def pruned_syndrome_weight_rearranged(code: QcLdpcCode, rearranged_bits: np.ndarray) -> int:

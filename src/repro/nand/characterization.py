@@ -20,7 +20,7 @@ module runs the same *campaign* against the calibrated models of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -51,8 +51,8 @@ class CharacterizationCampaign:
 
     def __init__(
         self,
-        reliability: ReliabilityConfig = None,
-        ecc: EccConfig = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        ecc: Optional[EccConfig] = None,
         n_chips: int = 160,
         page_bytes: int = 16 * KIB,
         seed: SeedLike = 7,

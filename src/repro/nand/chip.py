@@ -91,9 +91,9 @@ class FlashDie:
         pages_per_block: int = 16,
         page_bits: int = 4608,
         planes: int = 1,
-        vth: TlcVthModel = None,
+        vth: Optional[TlcVthModel] = None,
         randomizer: Optional[Randomizer] = None,
-        retry_table: RetryTable = None,
+        retry_table: Optional[RetryTable] = None,
         seed: SeedLike = 11,
     ):
         if min(blocks, pages_per_block, page_bits, planes) < 1:
@@ -132,6 +132,11 @@ class FlashDie:
         if self._probes:
             for probe in self._probes:
                 probe(event, **fields)
+
+    def cache_stats(self) -> list:
+        """Hit/miss counters of the VTH model's hot-path memo caches (the
+        die's per-read error physics all flow through them)."""
+        return self.vth.cache_stats()
 
     # --- fault injection (repro.faults functional hooks) ------------------------------
 
@@ -227,7 +232,7 @@ class FlashDie:
         plane: int,
         block: int,
         page: int,
-        vref_offsets: Dict[int, float] = None,
+        vref_offsets: Optional[Dict[int, float]] = None,
     ) -> float:
         """Model RBER of sensing this page now with the given offsets."""
         stored = self._stored(plane, block, page)
@@ -247,7 +252,7 @@ class FlashDie:
         plane: int,
         block: int,
         page: int,
-        vref_offsets: Dict[int, float] = None,
+        vref_offsets: Optional[Dict[int, float]] = None,
         command: FlashCommand = FlashCommand.READ,
         senses: int = 1,
     ) -> ReadResult:

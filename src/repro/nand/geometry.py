@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 from ..config import NandGeometry
 from ..errors import GeometryError
+from ..perf import cache as _perf_cache
+from ..perf.cache import MemoCache
 
 
 @dataclass(frozen=True, order=True)
@@ -51,6 +53,14 @@ class AddressMapper:
         self.geometry = geometry
         g = geometry
         self._planes_total = g.channels * g.dies_per_channel * g.planes_per_die
+        self._chan_dies = g.channels * g.dies_per_channel
+        # ppn -> PageAddress is pure and PageAddress is immutable, so the
+        # decode arithmetic is memoized (repro.perf); the FTL resolves the
+        # same hot physical pages on every re-read
+        self._address_cache = MemoCache("geometry.address")
+        # bound table for the inline probe in address(); the cache never
+        # stores None and only ever clear()s the table in place
+        self._address_table = self._address_cache._table
 
     # --- plane numbering -----------------------------------------------------
 
@@ -61,6 +71,16 @@ class AddressMapper:
         self._check_range(die, g.dies_per_channel, "die")
         self._check_range(plane, g.planes_per_die, "plane")
         return plane * (g.channels * g.dies_per_channel) + die * g.channels + channel
+
+    def plane_index_of(self, addr: PageAddress) -> int:
+        """:meth:`plane_index` of an address this mapper produced.
+
+        Unchecked fast path: every :class:`PageAddress` decoded by
+        :meth:`address` is in range by construction, so the per-field
+        validation of :meth:`plane_index` would be pure overhead on the
+        simulator's per-read path."""
+        g = self.geometry
+        return addr.plane * self._chan_dies + addr.die * g.channels + addr.channel
 
     def plane_from_index(self, idx: int) -> tuple:
         """Inverse of :meth:`plane_index` → (channel, die, plane)."""
@@ -83,7 +103,16 @@ class AddressMapper:
         return page_in_plane * self._planes_total + pidx
 
     def address(self, ppn: int) -> PageAddress:
-        """Inverse of :meth:`ppn`."""
+        """Inverse of :meth:`ppn` (memoized; addresses are immutable)."""
+        addr = self._address_table.get(ppn) if _perf_cache._ENABLED else None
+        if addr is None:
+            return self._address_cache.get_or_compute(
+                ppn, lambda: self._address_uncached(ppn)
+            )
+        self._address_cache.hits += 1
+        return addr
+
+    def _address_uncached(self, ppn: int) -> PageAddress:
         g = self.geometry
         self._check_range(ppn, g.total_pages, "ppn")
         pidx = ppn % self._planes_total

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -54,8 +54,8 @@ class IsppConfig:
 class IsppProgrammer:
     """Analytic + Monte-Carlo model of the ISPP sequence for TLC."""
 
-    def __init__(self, config: IsppConfig = None,
-                 vth_config: TlcVthConfig = None):
+    def __init__(self, config: Optional[IsppConfig] = None,
+                 vth_config: Optional[TlcVthConfig] = None):
         self.config = config or IsppConfig()
         self.vth_config = vth_config or TlcVthConfig()
 

@@ -23,13 +23,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List, Optional
 
 from ..config import EccConfig, ReliabilityConfig
 from ..errors import ConfigError
+from ..perf.cache import MemoCache
 from .variation import VariationModel, _unit_to_standard_normal
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageState:
     """Operating condition of a page at read time."""
 
@@ -58,14 +60,26 @@ class RberModel:
 
     def __init__(
         self,
-        reliability: ReliabilityConfig = None,
-        ecc: EccConfig = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        ecc: Optional[EccConfig] = None,
         seed: int = 0,
     ):
         self.reliability = reliability or ReliabilityConfig()
         self.ecc = ecc or EccConfig()
         self.variation = VariationModel(self.reliability, seed=seed)
         self._anchors = list(self.reliability.t_cross_anchors)
+        # --- hot-path memo caches (repro.perf; exact keys, bit-identical) ---
+        # The simulator queries one fixed P/E point millions of times, so
+        # the log/exp anchor interpolation and the per-page variation
+        # hashes are ideal memoization targets.
+        self._anchor_cache = MemoCache("rber.anchor_cross_days",
+                                       max_entries=4096)
+        self._prog_cache = MemoCache("rber.rber_prog", max_entries=4096)
+        self._disturb_cache = MemoCache("rber.disturb_per_read",
+                                        max_entries=4096)
+        self._factor_cache = MemoCache("rber.variation_factor")
+        self._block_factor_cache = MemoCache("rber.block_factor")
+        self._base_cache = MemoCache("rber.retention_base")
         # The anchors describe the weakest pages (the `anchor_quantile` of
         # the crossing distribution); the median page crosses later by the
         # inverse lognormal quantile of the combined variation sigma.
@@ -78,9 +92,30 @@ class RberModel:
 
     # --- calibration curves ----------------------------------------------------
 
+    def invalidate_caches(self) -> None:
+        """Drop all memoized values (the model itself is immutable; use
+        after monkeypatching config in tests, or for memory pressure)."""
+        for cache in self._caches():
+            cache.invalidate()
+
+    def cache_stats(self) -> List[dict]:
+        """JSON-ready hit/miss counters of this model's memo caches."""
+        return [c.stats().to_dict() for c in self._caches()]
+
+    def _caches(self) -> List[MemoCache]:
+        return [self._anchor_cache, self._prog_cache, self._disturb_cache,
+                self._factor_cache, self._block_factor_cache,
+                self._base_cache]
+
     def anchor_cross_days(self, pe_cycles: float) -> float:
         """Retention time (days) at which the weakest (``anchor_quantile``)
-        pages cross the ECC correction capability — Fig. 4's left edge."""
+        pages cross the ECC correction capability — Fig. 4's left edge.
+        Memoized on the exact wear level."""
+        return self._anchor_cache.get_or_compute(
+            pe_cycles, lambda: self._anchor_cross_days_uncached(pe_cycles)
+        )
+
+    def _anchor_cross_days_uncached(self, pe_cycles: float) -> float:
         if pe_cycles < 0:
             raise ConfigError("pe_cycles must be non-negative")
         anchors = self._anchors
@@ -104,15 +139,27 @@ class RberModel:
         return self.anchor_cross_days(pe_cycles) * self._median_scale
 
     def rber_prog(self, pe_cycles: float) -> float:
-        """Program-time RBER (retention age zero) of the median page."""
+        """Program-time RBER (retention age zero) of the median page.
+        Memoized on the exact wear level."""
         r = self.reliability
-        return r.rber_prog_fresh * (1.0 + r.rber_prog_pe_slope * pe_cycles / 1000.0)
+        return self._prog_cache.get_or_compute(
+            pe_cycles,
+            lambda: r.rber_prog_fresh
+            * (1.0 + r.rber_prog_pe_slope * pe_cycles / 1000.0),
+        )
 
     def read_disturb_rber(self, pe_cycles: float, read_count: int) -> float:
-        """Additive RBER contribution of repeated reads since last program."""
+        """Additive RBER contribution of repeated reads since last program.
+
+        The per-read coefficient is memoized on the wear level; the
+        ``coefficient * read_count`` product is left-associated exactly as
+        the unmemoized expression evaluates, so results are bit-identical.
+        """
         r = self.reliability
-        per_read = r.read_disturb_per_read * (
-            1.0 + r.read_disturb_pe_slope * pe_cycles / 1000.0
+        per_read = self._disturb_cache.get_or_compute(
+            pe_cycles,
+            lambda: r.read_disturb_per_read
+            * (1.0 + r.read_disturb_pe_slope * pe_cycles / 1000.0),
         )
         return per_read * read_count
 
@@ -129,10 +176,20 @@ class RberModel:
         (e.g. ``PageAddress.block_key()``); the same key always yields the
         same variation factor.
         """
-        factor = self.variation.block_factor(block_key) * self.variation.page_factor(
-            block_key, page
+        return self._rber_with_factor(state, self._page_variation(block_key, page))
+
+    def _page_variation(self, block_key: tuple, page: int) -> float:
+        """Combined block*page strength factor, memoized per physical page
+        (the hash + inverse-normal evaluation is pure in (seed, key)).
+        The block term is memoized separately so the first read of a new
+        page in an already-seen block only pays the page hash."""
+        return self._factor_cache.get_or_compute(
+            (block_key, page),
+            lambda: self._block_factor_cache.get_or_compute(
+                block_key, lambda: self.variation.block_factor(block_key)
+            )
+            * self.variation.page_factor(block_key, page),
         )
-        return self._rber_with_factor(state, factor)
 
     def rber_with_strength(self, state: PageState, strength_factor: float) -> float:
         """RBER of a page with an explicit process-variation strength factor
@@ -140,16 +197,29 @@ class RberModel:
         return self._rber_with_factor(state, strength_factor)
 
     def _rber_with_factor(self, state: PageState, strength_factor: float) -> float:
-        cap = self.ecc.correction_capability
-        alpha = self.reliability.retention_exponent
-        r_prog = min(self.rber_prog(state.pe_cycles), cap * 0.9)
-        t_cross = self.t_cross_days(state.pe_cycles) * strength_factor
-        retention_term = (cap - r_prog) * (state.retention_days / t_cross) ** alpha
-        rber = r_prog + retention_term + self.read_disturb_rber(
-            state.pe_cycles, state.read_count
+        # The retention base (everything except read disturb) is memoized:
+        # a page's wear and age repeat across reads, its read count does
+        # not.  ``base + disturb`` associates exactly like the original
+        # ``r_prog + retention_term + disturb``.
+        base = self._base_cache.get_or_compute(
+            (state.pe_cycles, state.retention_days, strength_factor),
+            lambda: self._retention_base(
+                state.pe_cycles, state.retention_days, strength_factor
+            ),
         )
+        rber = base + self.read_disturb_rber(state.pe_cycles, state.read_count)
         # physical ceiling: a completely scrambled page is 50% wrong
         return min(rber, 0.5)
+
+    def _retention_base(
+        self, pe_cycles: float, retention_days: float, strength_factor: float
+    ) -> float:
+        cap = self.ecc.correction_capability
+        alpha = self.reliability.retention_exponent
+        r_prog = min(self.rber_prog(pe_cycles), cap * 0.9)
+        t_cross = self.t_cross_days(pe_cycles) * strength_factor
+        retention_term = (cap - r_prog) * (retention_days / t_cross) ** alpha
+        return r_prog + retention_term
 
     # --- convenience -------------------------------------------------------------
 
@@ -167,7 +237,4 @@ class RberModel:
         because the retention term is the only time-dependent one (read
         disturb excluded here, as in the paper's Fig. 4 methodology).
         """
-        factor = self.variation.block_factor(block_key) * self.variation.page_factor(
-            block_key, page
-        )
-        return self.t_cross_days(pe_cycles) * factor
+        return self.t_cross_days(pe_cycles) * self._page_variation(block_key, page)

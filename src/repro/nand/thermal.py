@@ -16,6 +16,8 @@ reference days*, which plugs straight into the calibrated RBER model
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 from dataclasses import dataclass
 
@@ -42,7 +44,7 @@ class ThermalConfig:
 class ThermalModel:
     """Temperature-equivalent retention scaling."""
 
-    def __init__(self, config: ThermalConfig = None):
+    def __init__(self, config: Optional[ThermalConfig] = None):
         self.config = config or ThermalConfig()
 
     def acceleration_factor(self, temp_c: float) -> float:

@@ -20,11 +20,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigError
+from ..perf.cache import MemoCache
 from ..rng import SeedLike, make_rng
 
 #: Gray code of TLC states: state index -> (LSB, CSB, MSB) bit values.
@@ -111,20 +112,82 @@ class TlcVthModel:
 
     N_STATES = 8
 
-    def __init__(self, config: TlcVthConfig = None):
+    def __init__(self, config: Optional[TlcVthConfig] = None):
         self.config = config or TlcVthConfig()
         means = [self.config.erased_mean, *self.config.programmed_means]
         # Default read voltages: midpoints between ideal adjacent states.
         self.default_vrefs: Tuple[float, ...] = tuple(
             0.5 * (means[i] + means[i + 1]) for i in range(self.N_STATES - 1)
         )
+        # --- hot-path precomputation (repro.perf) ---
+        # Per page type: sorted boundary indices, the default boundary
+        # voltages (offset 0.0 applied, matching the generic path exactly),
+        # and the bin -> bit LUT.  All three are condition-independent.
+        self._boundaries: Dict[PageType, Tuple[int, ...]] = {}
+        self._default_boundaries_v: Dict[PageType, np.ndarray] = {}
+        self._bit_luts: Dict[PageType, np.ndarray] = {}
+        for ptype in PageType:
+            boundaries = tuple(sorted(ptype.boundaries))
+            self._boundaries[ptype] = boundaries
+            self._default_boundaries_v[ptype] = np.array(
+                [self.default_vrefs[b - 1] + 0.0 for b in boundaries]
+            )
+            self._bit_luts[ptype] = np.array(
+                [self._bin_bit(boundaries, j, ptype.bit_index)
+                 for j in range(len(boundaries) + 1)],
+                dtype=np.uint8,
+            )
+        # Exact-key memo caches.  The model is immutable (frozen config), so
+        # entries never go stale; ``invalidate_caches`` exists for explicit
+        # resets (and symmetry with the samplers).
+        self._params_cache = MemoCache("vth.state_params", max_entries=4096)
+        self._rber_cache = MemoCache("vth.page_rber")
+        self._ones_cache = MemoCache("vth.ones_fraction")
+        self._above_cache = MemoCache("vth.fraction_above")
+        self._opt_vref_cache = MemoCache("vth.optimal_vref_offset")
+
+    # --- cache plumbing (repro.perf) ----------------------------------------------
+
+    def _caches(self) -> List[MemoCache]:
+        return [self._params_cache, self._rber_cache, self._ones_cache,
+                self._above_cache, self._opt_vref_cache]
+
+    def invalidate_caches(self) -> None:
+        """Drop every memoized value (the model is immutable, so this only
+        matters for memory pressure or paranoid test isolation)."""
+        for cache in self._caches():
+            cache.invalidate()
+
+    def cache_stats(self) -> List[dict]:
+        """JSON-ready hit/miss counters of this model's memo caches."""
+        return [c.stats().to_dict() for c in self._caches()]
+
+    @staticmethod
+    def _offsets_key(
+        vref_offsets: Optional[Dict[int, float]]
+    ) -> Optional[Tuple[Tuple[int, float], ...]]:
+        if not vref_offsets:
+            return None
+        return tuple(sorted(vref_offsets.items()))
 
     # --- distributions under operating conditions --------------------------------
 
     def state_params(
         self, pe_cycles: float = 0.0, retention_months: float = 0.0
     ) -> List[VthStateParams]:
-        """Gaussian parameters of all 8 states under the given condition."""
+        """Gaussian parameters of all 8 states under the given condition.
+
+        Memoized on the exact ``(pe_cycles, retention_months)`` pair — the
+        simulator evaluates the same handful of conditions thousands of
+        times.  The returned list is shared; treat it as read-only."""
+        return self._params_cache.get_or_compute(
+            (pe_cycles, retention_months),
+            lambda: self._state_params_uncached(pe_cycles, retention_months),
+        )
+
+    def _state_params_uncached(
+        self, pe_cycles: float, retention_months: float
+    ) -> List[VthStateParams]:
         if pe_cycles < 0 or retention_months < 0:
             raise ConfigError("condition values must be non-negative")
         c = self.config
@@ -155,7 +218,7 @@ class TlcVthModel:
     # --- analytic read maths -------------------------------------------------------
 
     def _resolve_vrefs(
-        self, page_type: PageType, vref_offsets: Dict[int, float] = None
+        self, page_type: PageType, vref_offsets: Optional[Dict[int, float]] = None
     ) -> Dict[int, float]:
         """VREF voltage per boundary index used by ``page_type``; offsets are
         added to the chip-default voltages."""
@@ -189,11 +252,29 @@ class TlcVthModel:
         page_type: PageType,
         pe_cycles: float = 0.0,
         retention_months: float = 0.0,
-        vref_offsets: Dict[int, float] = None,
+        vref_offsets: Optional[Dict[int, float]] = None,
     ) -> float:
         """Analytic RBER of a page of ``page_type`` sensed with the given
         per-boundary VREF offsets, assuming randomized (uniform) state usage.
-        """
+
+        Memoized on the exact condition + offsets (the die re-senses the
+        same page at the same retry levels over and over)."""
+        key = (page_type, pe_cycles, retention_months,
+               self._offsets_key(vref_offsets))
+        return self._rber_cache.get_or_compute(
+            key,
+            lambda: self._page_rber_uncached(
+                page_type, pe_cycles, retention_months, vref_offsets
+            ),
+        )
+
+    def _page_rber_uncached(
+        self,
+        page_type: PageType,
+        pe_cycles: float,
+        retention_months: float,
+        vref_offsets: Optional[Dict[int, float]],
+    ) -> float:
         params = self.state_params(pe_cycles, retention_months)
         vrefs = self._resolve_vrefs(page_type, vref_offsets)
         boundaries = sorted(page_type.boundaries)
@@ -233,11 +314,27 @@ class TlcVthModel:
         page_type: PageType,
         pe_cycles: float = 0.0,
         retention_months: float = 0.0,
-        vref_offsets: Dict[int, float] = None,
+        vref_offsets: Optional[Dict[int, float]] = None,
     ) -> float:
         """Expected fraction of 1-bits in a sensed page — the observable the
         Swift-Read heuristic compares against its randomization-guaranteed
-        expectation (SecIII-B)."""
+        expectation (SecIII-B).  Memoized like :meth:`page_rber`."""
+        key = (page_type, pe_cycles, retention_months,
+               self._offsets_key(vref_offsets))
+        return self._ones_cache.get_or_compute(
+            key,
+            lambda: self._ones_fraction_uncached(
+                page_type, pe_cycles, retention_months, vref_offsets
+            ),
+        )
+
+    def _ones_fraction_uncached(
+        self,
+        page_type: PageType,
+        pe_cycles: float,
+        retention_months: float,
+        vref_offsets: Optional[Dict[int, float]],
+    ) -> float:
         params = self.state_params(pe_cycles, retention_months)
         vrefs = self._resolve_vrefs(page_type, vref_offsets)
         boundaries = sorted(page_type.boundaries)
@@ -263,7 +360,18 @@ class TlcVthModel:
         retention_months: float = 0.0,
     ) -> float:
         """Fraction of (randomized, uniform-state) cells whose VTH exceeds
-        ``level_v`` — what a single sense at that level measures."""
+        ``level_v`` — what a single sense at that level measures.
+        Memoized on the exact (level, condition) triple."""
+        return self._above_cache.get_or_compute(
+            (level_v, pe_cycles, retention_months),
+            lambda: self._fraction_above_uncached(
+                level_v, pe_cycles, retention_months
+            ),
+        )
+
+    def _fraction_above_uncached(
+        self, level_v: float, pe_cycles: float, retention_months: float
+    ) -> float:
         params = self.state_params(pe_cycles, retention_months)
         return sum(
             1.0 - _phi((level_v - p.mean) / p.sigma) for p in params
@@ -338,7 +446,18 @@ class TlcVthModel:
     ) -> float:
         """Offset from the default VREF to the minimum-error read voltage for
         ``boundary`` (1-based), found by ternary search on the overlap of the
-        two adjacent state distributions."""
+        two adjacent state distributions.  Memoized — the 80-iteration
+        search is the most expensive single call in the model."""
+        return self._opt_vref_cache.get_or_compute(
+            (boundary, pe_cycles, retention_months),
+            lambda: self._optimal_vref_offset_uncached(
+                boundary, pe_cycles, retention_months
+            ),
+        )
+
+    def _optimal_vref_offset_uncached(
+        self, boundary: int, pe_cycles: float, retention_months: float
+    ) -> float:
         params = self.state_params(pe_cycles, retention_months)
         lo_state, hi_state = boundary - 1, boundary
 
@@ -361,13 +480,31 @@ class TlcVthModel:
 
     # --- Monte-Carlo cell arrays -----------------------------------------------------
 
+    def _state_arrays(
+        self, pe_cycles: float, retention_months: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(means, sigmas) arrays of all 8 states, memoized per condition
+        alongside :meth:`state_params` (read-only)."""
+        return self._params_cache.get_or_compute(
+            ("arrays", pe_cycles, retention_months),
+            lambda: self._state_arrays_uncached(pe_cycles, retention_months),
+        )
+
+    def _state_arrays_uncached(
+        self, pe_cycles: float, retention_months: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        params = self.state_params(pe_cycles, retention_months)
+        means = np.array([p.mean for p in params])
+        sigmas = np.array([p.sigma for p in params])
+        return means, sigmas
+
     def sample_cells(
         self,
         n_cells: int,
         pe_cycles: float = 0.0,
         retention_months: float = 0.0,
         seed: SeedLike = None,
-        states: np.ndarray = None,
+        states: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample ``n_cells`` wordline cells: returns (states, vth) arrays.
 
@@ -380,30 +517,61 @@ class TlcVthModel:
         states = np.asarray(states)
         if states.shape != (n_cells,):
             raise ConfigError("states must have shape (n_cells,)")
-        params = self.state_params(pe_cycles, retention_months)
-        means = np.array([p.mean for p in params])
-        sigmas = np.array([p.sigma for p in params])
+        means, sigmas = self._state_arrays(pe_cycles, retention_months)
         vth = rng.normal(means[states], sigmas[states])
         return states, vth
+
+    def _boundaries_v(
+        self, page_type: PageType, vref_offsets: Optional[Dict[int, float]]
+    ) -> np.ndarray:
+        """Ascending boundary voltages for a sense of ``page_type``; the
+        no-offset fast path returns the precomputed array (read-only)."""
+        if not vref_offsets:
+            return self._default_boundaries_v[page_type]
+        return np.array([
+            self.default_vrefs[b - 1] + vref_offsets.get(b, 0.0)
+            for b in self._boundaries[page_type]
+        ])
 
     def sense(
         self,
         vth: np.ndarray,
         page_type: PageType,
-        vref_offsets: Dict[int, float] = None,
+        vref_offsets: Optional[Dict[int, float]] = None,
     ) -> np.ndarray:
         """Sense a cell array as a page of ``page_type``: returns the bit
-        array the chip would latch into its page buffer."""
-        vrefs = self._resolve_vrefs(page_type, vref_offsets)
-        boundaries = sorted(page_type.boundaries)
-        boundaries_v = np.array([vrefs[b] for b in boundaries])
+        array the chip would latch into its page buffer.
+
+        One vectorized pass: a single ``searchsorted`` against the (cached)
+        boundary voltages followed by one LUT gather — the per-call
+        boundary loops and LUT rebuilds of the seed implementation
+        (:func:`repro.perf.kernels.sense_reference`) are precomputed in
+        ``__init__``."""
+        boundaries_v = self._boundaries_v(page_type, vref_offsets)
         bins = np.searchsorted(boundaries_v, vth)
-        bit_lut = np.array(
-            [self._bin_bit(boundaries, j, page_type.bit_index)
-             for j in range(len(boundaries) + 1)],
-            dtype=np.uint8,
-        )
-        return bit_lut[bins]
+        return self._bit_luts[page_type][bins]
+
+    def sense_many(
+        self,
+        vth: np.ndarray,
+        page_type: PageType,
+        offset_sets: Sequence[Optional[Dict[int, float]]],
+    ) -> np.ndarray:
+        """Batched sense: one ``(len(offset_sets), n_cells)`` result for a
+        chunk read that probes several VREF settings (e.g. a retry ladder)
+        over the same cell array, reusing the sorted-cell ordering instead
+        of re-sensing from scratch per setting.
+
+        Each row is bit-identical to ``sense(vth, page_type, offsets)``
+        for the corresponding offsets: ``searchsorted(bounds, v)`` equals
+        the number of boundaries strictly below ``v``, which is what the
+        broadcast comparison counts."""
+        vth = np.asarray(vth)
+        bounds = np.stack([
+            self._boundaries_v(page_type, offsets) for offsets in offset_sets
+        ])  # (k, n_boundaries)
+        bins = (vth[None, None, :] > bounds[:, :, None]).sum(axis=1)
+        return self._bit_luts[page_type][bins]
 
     def true_bits(self, states: np.ndarray, page_type: PageType) -> np.ndarray:
         """Ground-truth page bits for the given cell states."""

@@ -98,7 +98,7 @@ def live_line(done: int, total: int, cached: int, failed: int,
 class LiveLineWriter:
     """Carriage-return rewriting writer with a clean final newline."""
 
-    def __init__(self, stream: TextIO = None):
+    def __init__(self, stream: Optional[TextIO] = None):
         self.stream = stream or sys.stderr
         self._dirty = False
 

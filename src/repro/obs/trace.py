@@ -112,7 +112,7 @@ class SimTracer:
     :class:`TraceConfig` to sample or bound the trace.
     """
 
-    def __init__(self, config: TraceConfig = None):
+    def __init__(self, config: Optional[TraceConfig] = None):
         self.config = config or TraceConfig(enabled=True)
         self.events: List[SpanEvent] = []
         self.resource_spans: List[SpanEvent] = []

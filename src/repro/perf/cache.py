@@ -1,0 +1,181 @@
+"""Exact-key memoization caches for the simulator's per-read hot path.
+
+The per-read cost of the simulator is dominated by a handful of pure
+functions evaluated over and over with the *same* arguments: reliability
+anchors at the run's fixed P/E point, interpolated LUT rows for a page
+whose cold retention age never changes, process-variation hashes for the
+same physical page.  :class:`MemoCache` memoizes those calls.
+
+Two properties are deliberate and load-bearing:
+
+* **Bit-identity.**  Keys are the exact call inputs (float keys compare by
+  bit pattern — the finest possible quantization), and the cached value is
+  whatever the underlying computation produced for those inputs.  A cache
+  hit therefore returns the same float the miss path would have computed,
+  so cached and uncached runs are bit-for-bit identical — asserted by
+  ``tests/test_perf_equivalence.py``.
+* **Bounded memory.**  When a cache reaches ``max_entries`` it is cleared
+  wholesale (a generational cache): O(1) bookkeeping per lookup, no LRU
+  linked-list overhead on the hot path, and a hard memory ceiling.  The
+  clear is recorded in the stats as an ``evictions`` generation bump.
+
+Every cache registers itself in a per-process registry so telemetry can
+snapshot hit rates (:func:`cache_stats_snapshot`), and a global switch
+(:func:`caches_disabled`) turns all lookups into forced misses that also
+skip the store — the reference path used by the equivalence tests and the
+``bench-gate`` speedup measurements.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional
+
+from ..errors import ConfigError
+
+#: Process-wide registry of live caches (weak: a dropped sampler's caches
+#: disappear from telemetry instead of leaking).
+_REGISTRY: "weakref.WeakSet[MemoCache]" = weakref.WeakSet()
+_REGISTRY_LOCK = threading.Lock()
+
+#: Global enable flag — flipped by :func:`caches_disabled` only.
+_ENABLED = True
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of one cache's counters."""
+
+    name: str
+    hits: int
+    misses: int
+    entries: int
+    max_entries: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction in [0, 1]; 0.0 for a never-queried cache."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class MemoCache:
+    """A named, bounded, stats-tracking memo table.
+
+    Use :meth:`get_or_compute` on the hot path; :meth:`invalidate` drops
+    every entry (e.g. after mutating the state the cached function closes
+    over).  Not thread-safe by design — each sampler owns its caches and
+    the campaign layer parallelises at process granularity.
+    """
+
+    __slots__ = ("name", "max_entries", "hits", "misses", "evictions",
+                 "_table", "__weakref__")
+
+    def __init__(self, name: str, max_entries: int = 1 << 16):
+        if max_entries < 1:
+            raise ConfigError("max_entries must be >= 1")
+        self.name = name
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._table: Dict[Hashable, Any] = {}
+        with _REGISTRY_LOCK:
+            _REGISTRY.add(self)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing (and storing) it
+        on a miss.  With caches globally disabled, always computes and
+        never stores."""
+        if not _ENABLED:
+            self.misses += 1
+            return compute()
+        value = self._table.get(key, _MISS)
+        if value is not _MISS:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = compute()
+        if len(self._table) >= self.max_entries:
+            # generational eviction: drop everything, O(1) amortised
+            self._table.clear()
+            self.evictions += 1
+        self._table[key] = value
+        return value
+
+    def invalidate(self) -> None:
+        """Explicitly drop all entries (counters survive; an invalidation
+        is not an eviction)."""
+        self._table.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            name=self.name,
+            hits=self.hits,
+            misses=self.misses,
+            entries=len(self._table),
+            max_entries=self.max_entries,
+            evictions=self.evictions,
+        )
+
+
+def caches_enabled() -> bool:
+    """Whether hot-path memoization is currently active."""
+    return _ENABLED
+
+
+@contextmanager
+def caches_disabled() -> Iterator[None]:
+    """Force every :class:`MemoCache` into compute-always mode.
+
+    This is the *reference* execution mode: identical arithmetic, no
+    memoization.  The equivalence suite runs each scenario once inside
+    this context and once outside and asserts bit-identical results; the
+    bench gate uses it as the "before" timing.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def iter_caches() -> List[MemoCache]:
+    """All live caches, in registration order (best effort)."""
+    with _REGISTRY_LOCK:
+        return list(_REGISTRY)
+
+
+def cache_stats_snapshot(caches: Optional[List[MemoCache]] = None) -> List[Dict[str, Any]]:
+    """JSON-ready stats for the given caches (default: every live cache),
+    sorted by name for stable output — the payload the simulator's
+    ``perf.cache_stats`` telemetry instant carries."""
+    pool = iter_caches() if caches is None else caches
+    return sorted((c.stats().to_dict() for c in pool), key=lambda d: d["name"])

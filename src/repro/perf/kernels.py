@@ -1,0 +1,87 @@
+"""Reference (pre-optimization) hot-path kernels.
+
+These are the seed repository's scalar implementations, preserved verbatim
+so the optimized kernels in :mod:`repro.ldpc.syndrome` and
+:mod:`repro.nand.vth` have an executable ground truth:
+
+* the equivalence suite asserts the optimized kernels reproduce these
+  bit-for-bit on random inputs, and
+* the ``bench-gate`` CLI times optimized-vs-reference on identical inputs
+  to report machine-independent speedup ratios.
+
+Nothing in the simulator imports this module on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import CodecError
+from ..ldpc.qc_matrix import QcLdpcCode
+from ..nand.vth import PageType, TlcVthModel
+
+
+def _segments(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.shape != (code.n,):
+        raise CodecError(f"expected {code.n}-bit word, got {bits.shape}")
+    return bits.reshape(code.c, code.t)
+
+
+def pruned_syndrome_reference(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    """Seed implementation: one ``np.roll`` per circulant in a Python loop."""
+    segs = _segments(code, bits)
+    t = code.t
+    acc = np.zeros(t, dtype=np.uint8)
+    for j in range(code.c):
+        shift = int(code.shifts[0, j])
+        acc ^= np.roll(segs[j], -shift)
+    return acc
+
+
+def pruned_syndrome_weight_reference(code: QcLdpcCode, bits: np.ndarray) -> int:
+    return int(pruned_syndrome_reference(code, bits).sum())
+
+
+def rearrange_codeword_reference(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    """Seed implementation: per-segment ``np.roll`` loop."""
+    segs = _segments(code, bits)
+    out = np.empty_like(segs)
+    for j in range(code.c):
+        out[j] = np.roll(segs[j], -int(code.shifts[0, j]))
+    return out.reshape(code.n)
+
+
+def restore_codeword_reference(code: QcLdpcCode, bits: np.ndarray) -> np.ndarray:
+    """Seed implementation: inverse per-segment ``np.roll`` loop."""
+    segs = _segments(code, bits)
+    out = np.empty_like(segs)
+    for j in range(code.c):
+        out[j] = np.roll(segs[j], int(code.shifts[0, j]))
+    return out.reshape(code.n)
+
+
+def sense_reference(
+    model: TlcVthModel,
+    vth: np.ndarray,
+    page_type: PageType,
+    vref_offsets: Optional[Dict[int, float]] = None,
+) -> np.ndarray:
+    """Seed implementation of :meth:`TlcVthModel.sense`: rebuilds the
+    VREF dict and the per-bin bit LUT on every call."""
+    offsets = vref_offsets or {}
+    vrefs = {
+        b: model.default_vrefs[b - 1] + offsets.get(b, 0.0)
+        for b in page_type.boundaries
+    }
+    boundaries = sorted(page_type.boundaries)
+    boundaries_v = np.array([vrefs[b] for b in boundaries])
+    bins = np.searchsorted(boundaries_v, vth)
+    bit_lut = np.array(
+        [model._bin_bit(boundaries, j, page_type.bit_index)
+         for j in range(len(boundaries) + 1)],
+        dtype=np.uint8,
+    )
+    return bit_lut[bins]

@@ -19,15 +19,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import List, Optional
+
 from ..config import EccConfig
 from ..core.accuracy import RpAccuracyModel
 from ..errors import ConfigError
 from ..ldpc.capability import CapabilityCurve
 from ..ldpc.latency import EccLatencyModel
+from ..perf import cache as _perf_cache
+from ..perf.cache import MemoCache
 from ..rng import SeedLike, make_rng
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodeDraw:
     """One sampled decode attempt."""
 
@@ -40,10 +44,10 @@ class EccOutcomeModel:
 
     def __init__(
         self,
-        ecc: EccConfig = None,
-        failure_curve: CapabilityCurve = None,
-        latency: EccLatencyModel = None,
-        rp_model: RpAccuracyModel = None,
+        ecc: Optional[EccConfig] = None,
+        failure_curve: Optional[CapabilityCurve] = None,
+        latency: Optional[EccLatencyModel] = None,
+        rp_model: Optional[RpAccuracyModel] = None,
         retry_rber_factor: float = 0.15,
         seed: SeedLike = 42,
     ):
@@ -55,16 +59,53 @@ class EccOutcomeModel:
         self.rp_model = rp_model or RpAccuracyModel.paper_nominal()
         self.retry_rber_factor = retry_rber_factor
         self.rng = make_rng(seed)
+        # --- hot-path memo caches (repro.perf; exact rber keys) ------------
+        # Only the *probabilities* and *latencies* are cached — every rng
+        # draw stays on the live stream, so the sampled outcome sequence is
+        # bit-identical with caches on or off.
+        self._decode_cache = MemoCache("ecc.decode_params")
+        self._p_retry_cache = MemoCache("ecc.p_predict_retry")
+        # bound tables for the inline probes below; the caches never store
+        # None and only ever clear() their tables in place
+        self._decode_table = self._decode_cache._table
+        self._p_retry_table = self._p_retry_cache._table
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized curve evaluations (the curves are immutable; use
+        after monkeypatching them in tests)."""
+        for cache in self._caches():
+            cache.invalidate()
+
+    def cache_stats(self) -> List[dict]:
+        """JSON-ready hit/miss counters of this model's memo caches."""
+        return [c.stats().to_dict() for c in self._caches()]
+
+    def _caches(self) -> List[MemoCache]:
+        return [self._decode_cache, self._p_retry_cache]
+
+    def _decode_params(self, rber: float) -> tuple:
+        """(P[fail], tECC on success, tECC on failure) at ``rber`` — one
+        fused lookup per decode; all three are pure curve evaluations."""
+        params = self._decode_table.get(rber) if _perf_cache._ENABLED else None
+        if params is None:
+            return self._decode_cache.get_or_compute(
+                rber,
+                lambda: (
+                    self.failure_curve.failure_probability(rber),
+                    self.latency.latency_us(rber, failed=False),
+                    self.latency.latency_us(rber, failed=True),
+                ),
+            )
+        self._decode_cache.hits += 1
+        return params
 
     # --- decode attempts -------------------------------------------------------------
 
     def first_decode(self, rber: float) -> DecodeDraw:
         """Outcome of decoding the default-VREF sense."""
-        p_fail = self.failure_curve.failure_probability(rber)
+        p_fail, t_ok, t_fail = self._decode_params(rber)
         success = self.rng.random() >= p_fail
-        return DecodeDraw(
-            success=success, t_ecc=self.latency.latency_us(rber, failed=not success)
-        )
+        return DecodeDraw(success=success, t_ecc=t_ok if success else t_fail)
 
     def retry_rber(self, rber: float) -> float:
         """Effective RBER after a near-optimal VREF adjustment: the residual
@@ -73,12 +114,9 @@ class EccOutcomeModel:
 
     def retried_decode(self, rber: float) -> DecodeDraw:
         """Outcome of decoding a re-read with near-optimal VREF."""
-        r = self.retry_rber(rber)
-        p_fail = self.failure_curve.failure_probability(r)
+        p_fail, t_ok, t_fail = self._decode_params(self.retry_rber(rber))
         success = self.rng.random() >= p_fail
-        return DecodeDraw(
-            success=success, t_ecc=self.latency.latency_us(r, failed=not success)
-        )
+        return DecodeDraw(success=success, t_ecc=t_ok if success else t_fail)
 
     def healthy_decode(self, rber: float) -> DecodeDraw:
         """Decode of a page as seen by the hypothetical SSDzero: always
@@ -91,7 +129,14 @@ class EccOutcomeModel:
 
     def rp_predicts_retry(self, rber: float) -> bool:
         """Sample the on-die (or controller-side) RP comparator."""
-        return self.rp_model.sample_predict_retry(rber, self.rng)
+        p = self._p_retry_table.get(rber) if _perf_cache._ENABLED else None
+        if p is None:
+            p = self._p_retry_cache.get_or_compute(
+                rber, lambda: self.rp_model.p_predict_retry(rber)
+            )
+        else:
+            self._p_retry_cache.hits += 1
+        return bool(self.rng.random() < p)
 
     #: P[RP flags a page | that page's decode would fail] — Fig. 11's
     #: measured accuracy on uncorrectable pages (99.1% exact, 98.7% with
@@ -136,7 +181,7 @@ class ScriptedEccOutcomeModel(EccOutcomeModel):
     """
 
     def __init__(self, decode_script=None, rp_script=None,
-                 ecc: EccConfig = None, t_ecc_ok: float = 4.0):
+                 ecc: Optional[EccConfig] = None, t_ecc_ok: float = 4.0):
         super().__init__(ecc=ecc, seed=0)
         self._decode_script = list(decode_script or [])
         self._rp_script = list(rp_script or [])

@@ -18,6 +18,8 @@ prediction terms.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 from ..core.hardware import RpHardwareModel
@@ -76,7 +78,7 @@ class EnergyBreakdown:
 class EnergyModel:
     """Integrates per-event energies over a finished simulation."""
 
-    def __init__(self, config: EnergyConfig = None):
+    def __init__(self, config: Optional[EnergyConfig] = None):
         self.config = config or EnergyConfig()
 
     def read_path_energy(self, ssd) -> EnergyBreakdown:

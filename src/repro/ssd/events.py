@@ -70,8 +70,8 @@ class Simulator:
 
     def run(
         self,
-        until: float = None,
-        stop_condition: Callable[[], bool] = None,
+        until: Optional[float] = None,
+        stop_condition: Optional[Callable[[], bool]] = None,
         max_events: int = 100_000_000,
     ) -> None:
         """Process events in time order.
@@ -83,11 +83,15 @@ class Simulator:
         """
         self._stopped = False
         processed_this_run = 0
-        while self.events and not self._stopped:
-            if until is not None and self.events.peek_time() > until:
+        # bind the heap locally: this loop is the simulator's innermost
+        # hot path, and EventQueue.push always mutates this same list
+        heap = self.events._heap
+        pop = heapq.heappop
+        while heap and not self._stopped:
+            if until is not None and heap[0][0] > until:
                 self.now = until
                 break
-            time, _seq, callback = self.events.pop()
+            time, _seq, callback = pop(heap)
             if time < self.now:
                 raise SimulationError("event queue went backwards in time")
             self.now = time

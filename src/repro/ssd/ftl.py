@@ -120,8 +120,7 @@ class PageMapFtl:
 
     def _plane_and_block(self, ppn: int) -> Tuple[int, int]:
         addr = self.mapper.address(ppn)
-        pidx = self.mapper.plane_index(addr.channel, addr.die, addr.plane)
-        return pidx, addr.block
+        return self.mapper.plane_index_of(addr), addr.block
 
     def _check_lpn(self, lpn: int) -> None:
         if not 0 <= lpn < self.user_pages:
@@ -138,8 +137,7 @@ class PageMapFtl:
         """Resolve a logical read and bump the block's read counter."""
         ppn = self.current_ppn(lpn)
         addr = self.mapper.address(ppn)
-        pidx = self.mapper.plane_index(addr.channel, addr.die, addr.plane)
-        key = (pidx, addr.block)
+        key = (self.mapper.plane_index_of(addr), addr.block)
         reads = self._block_reads.get(key, 0) + 1
         self._block_reads[key] = reads
         written = self.written_at_us.get(ppn)

@@ -18,7 +18,7 @@ from ..workloads.trace import Trace
 class ClosedLoopHost:
     """Issue trace requests with a constant queue depth until exhausted."""
 
-    def __init__(self, ssd, trace: Trace, queue_depth: int = None,
+    def __init__(self, ssd, trace: Trace, queue_depth: Optional[int] = None,
                  max_requests: Optional[int] = None):
         if len(trace) == 0:
             raise SimulationError("cannot drive an empty trace")
@@ -66,7 +66,7 @@ class MultiQueueHost:
     """
 
     def __init__(self, ssd, trace: Trace, n_queues: int = 4,
-                 queue_depth: int = None,
+                 queue_depth: Optional[int] = None,
                  max_requests: Optional[int] = None):
         if len(trace) == 0:
             raise SimulationError("cannot drive an empty trace")

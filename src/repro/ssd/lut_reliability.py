@@ -18,12 +18,14 @@ from the same physics, so they must agree within interpolation error).
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import EccConfig, ReliabilityConfig
 from ..errors import ConfigError
 from ..nand.characterization import CharacterizationCampaign
 from ..nand.variation import _hash_to_unit
+from ..perf import cache as _perf_cache
+from ..perf.cache import MemoCache
 from ..units import US_PER_DAY
 
 
@@ -47,8 +49,8 @@ class LutReliabilitySampler:
         self,
         pe_cycles: float,
         n_lut_blocks: int = 64,
-        reliability: ReliabilityConfig = None,
-        ecc: EccConfig = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        ecc: Optional[EccConfig] = None,
         seed: int = 0,
         pe_grid: Sequence[float] = (0, 200, 500, 1000, 2000, 3000),
         retention_grid_days: Sequence[float] = (0, 1, 3, 7, 14, 21, 28, 30),
@@ -71,6 +73,33 @@ class LutReliabilitySampler:
             n_lut_blocks, pe_grid=pe_grid, retention_grid_days=retention_grid_days
         )
         self._assigned: Dict[Tuple[int, ...], int] = {}
+        # --- hot-path precomputation + memo caches (repro.perf) ----------------
+        # The operating P/E point is fixed at construction, so the P/E-axis
+        # interpolation indices and the per-read disturb coefficient never
+        # change; the bilinear base only varies with (lut table, age).
+        self._pe_lo, self._pe_hi, self._pe_frac = _interp_axis(
+            self.pe_grid, self.pe_cycles
+        )
+        self._disturb_per_read = self.reliability.read_disturb_per_read * (
+            1.0 + self.reliability.read_disturb_pe_slope * self.pe_cycles / 1000.0
+        )
+        self._base_cache = MemoCache("lut.base_rber")
+        self._cold_age_cache = MemoCache("lut.cold_age")
+        # bound tables for the inline probes below; the caches never store
+        # None and only ever clear() their tables in place
+        self._base_table = self._base_cache._table
+        self._cold_age_table = self._cold_age_cache._table
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized interpolation results (use after mutating
+        ``self.luts`` in tests)."""
+        self._base_cache.invalidate()
+        self._cold_age_cache.invalidate()
+
+    def cache_stats(self) -> List[dict]:
+        """JSON-ready hit/miss counters of this sampler's memo caches."""
+        return [self._base_cache.stats().to_dict(),
+                self._cold_age_cache.stats().to_dict()]
 
     # --- block -> test-block assignment -----------------------------------------
 
@@ -79,13 +108,24 @@ class LutReliabilitySampler:
         cached = self._assigned.get(block_key)
         if cached is None:
             u = _hash_to_unit(self.seed, 0x1A7B, *[int(k) for k in block_key])
-            cached = int(u * len(self.luts))
-            self._assigned[block_key] = min(cached, len(self.luts) - 1)
-        return self._assigned[block_key]
+            # clamp BEFORE caching so u == 1.0 can never store an
+            # out-of-range index
+            cached = min(int(u * len(self.luts)), len(self.luts) - 1)
+            self._assigned[block_key] = cached
+        return cached
 
     # --- sampler API (mirrors PageReliabilitySampler) ------------------------------
 
     def cold_age_days(self, lpn: int) -> float:
+        age = self._cold_age_table.get(lpn) if _perf_cache._ENABLED else None
+        if age is None:
+            return self._cold_age_cache.get_or_compute(
+                lpn, lambda: self._cold_age_days_uncached(lpn)
+            )
+        self._cold_age_cache.hits += 1
+        return age
+
+    def _cold_age_days_uncached(self, lpn: int) -> float:
         u = _hash_to_unit(self.seed, 0xC01D, int(lpn))
         return u * self.reliability.refresh_days
 
@@ -101,27 +141,42 @@ class LutReliabilitySampler:
         retention_days: float,
         read_count: int = 0,
     ) -> float:
-        """Bilinear LUT lookup + read-disturb term."""
-        table = self.luts[self.lut_index_for_block(block_key)]
-        pi0, pi1, pf = _interp_axis(self.pe_grid, self.pe_cycles)
+        """Bilinear LUT lookup + read-disturb term.
+
+        The bilinear base (including any beyond-grid extrapolation) is
+        memoized per ``(test block, retention age)`` — read count is the
+        only per-read variable, and it enters as a separate additive term
+        whose evaluation order matches the unmemoized expression exactly.
+        """
+        lut_index = self.lut_index_for_block(block_key)
+        key = (lut_index, retention_days)
+        base = self._base_table.get(key) if _perf_cache._ENABLED else None
+        if base is None:
+            base = self._base_cache.get_or_compute(
+                key, lambda: self._base_rber(lut_index, retention_days)
+            )
+        else:
+            self._base_cache.hits += 1
+        disturb = self._disturb_per_read * read_count
+        return float(min(base + disturb, 0.5))
+
+    def _base_rber(self, lut_index: int, retention_days: float) -> float:
+        """Read-count-independent RBER of a test block at a retention age."""
+        table = self.luts[lut_index]
+        pi0, pi1, pf = self._pe_lo, self._pe_hi, self._pe_frac
         ri0, ri1, rf = _interp_axis(self.retention_grid, retention_days)
         v00, v01 = table[pi0, ri0], table[pi0, ri1]
         v10, v11 = table[pi1, ri0], table[pi1, ri1]
         low = v00 + rf * (v01 - v00)
         high = v10 + rf * (v11 - v10)
         base = low + pf * (high - low)
-        disturb = (
-            self.reliability.read_disturb_per_read
-            * (1.0 + self.reliability.read_disturb_pe_slope * self.pe_cycles / 1000.0)
-            * read_count
-        )
         # beyond the grid's retention ceiling, extrapolate along the last
         # segment so very old pages keep degrading
         if retention_days > self.retention_grid[-1] and len(self.retention_grid) > 1:
             r_lo, r_hi = self.retention_grid[-2], self.retention_grid[-1]
             slope = (table[pi1, -1] - table[pi1, -2]) / (r_hi - r_lo)
             base += max(slope, 0.0) * (retention_days - r_hi)
-        return float(min(base + disturb, 0.5))
+        return base
 
     def exceeds_capability(self, rber: float) -> bool:
         return rber > self.ecc.correction_capability

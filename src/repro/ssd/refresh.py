@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..config import SSDConfig
 from ..errors import ConfigError
@@ -47,7 +47,7 @@ class RefreshPlanner:
 
     def __init__(
         self,
-        config: SSDConfig = None,
+        config: Optional[SSDConfig] = None,
         quadrature_points: int = 400,
         service_years: float = 5.0,
         pe_budget: float = 3000.0,

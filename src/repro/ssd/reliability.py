@@ -16,13 +16,15 @@ Responsibilities:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 from ..config import EccConfig, ReliabilityConfig
 from ..errors import ConfigError
 from ..nand.rber import PageState, RberModel
 from ..nand.thermal import ThermalModel
 from ..nand.variation import _hash_to_unit
+from ..perf import cache as _perf_cache
+from ..perf.cache import MemoCache
 from ..units import US_PER_DAY
 
 
@@ -37,11 +39,11 @@ class PageReliabilitySampler:
     def __init__(
         self,
         pe_cycles: float,
-        reliability: ReliabilityConfig = None,
-        ecc: EccConfig = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        ecc: Optional[EccConfig] = None,
         seed: int = 0,
-        operating_temp_c: float = None,
-        thermal: ThermalModel = None,
+        operating_temp_c: Optional[float] = None,
+        thermal: Optional[ThermalModel] = None,
     ):
         if pe_cycles < 0:
             raise ConfigError("pe_cycles must be non-negative")
@@ -55,12 +57,36 @@ class PageReliabilitySampler:
             1.0 if operating_temp_c is None
             else self.thermal.acceleration_factor(operating_temp_c)
         )
+        # cold ages are pure in (seed, lpn) and workloads re-read the same
+        # logical pages constantly — memoize the hash (repro.perf)
+        self._cold_age_cache = MemoCache("reliability.cold_age")
+        # fused per-read fast path: everything except the read-disturb term
+        # is pure in (page, retention age), so a re-read costs one lookup
+        self._page_base_cache = MemoCache("reliability.page_base")
+        # Bound table references for the inline probes below.  MemoCache
+        # only ever clear()s its table in place, so these stay valid across
+        # evictions and invalidations; neither cache can store None, so
+        # ``table.get(key)`` doubles as the miss test.
+        self._cold_age_table = self._cold_age_cache._table
+        self._page_base_table = self._page_base_cache._table
+        #: additive RBER per accumulated read at this wear level (x*1 is
+        #: exact in floating point, so this equals the model's coefficient)
+        self._disturb_per_read = self.model.read_disturb_rber(pe_cycles, 1)
 
     # --- retention ages ------------------------------------------------------------
 
     def cold_age_days(self, lpn: int) -> float:
         """Initial retention age of a pre-existing logical page: uniform in
         [0, refresh_days), deterministic in (seed, lpn)."""
+        age = self._cold_age_table.get(lpn) if _perf_cache._ENABLED else None
+        if age is None:
+            return self._cold_age_cache.get_or_compute(
+                lpn, lambda: self._cold_age_days_uncached(lpn)
+            )
+        self._cold_age_cache.hits += 1
+        return age
+
+    def _cold_age_days_uncached(self, lpn: int) -> float:
         u = _hash_to_unit(self.seed, 0xC01D, int(lpn))
         return u * self.reliability.refresh_days
 
@@ -79,14 +105,50 @@ class PageReliabilitySampler:
         retention_days: float,
         read_count: int = 0,
     ) -> float:
-        """RBER of one sense of a physical page right now."""
-        state = PageState(
-            pe_cycles=self.pe_cycles,
-            retention_days=retention_days * self.thermal_acceleration,
-            read_count=read_count,
-        )
-        return self.model.page_rber(state, block_key, page)
+        """RBER of one sense of a physical page right now.
+
+        Decomposed as ``min(base + disturb, 0.5)`` with the read-count-free
+        ``base`` memoized per (page, age): the disturb term is non-negative,
+        so folding the model's 0.5 ceiling into the cached base and applying
+        it again here is exact (both clamps saturate together), and the
+        fast path is bit-identical to :meth:`RberModel.page_rber`.
+        """
+        if read_count < 0:
+            raise ConfigError("read_count must be non-negative")
+        key = (block_key, page, retention_days)
+        base = self._page_base_table.get(key) if _perf_cache._ENABLED else None
+        if base is None:
+            base = self._page_base_cache.get_or_compute(
+                key,
+                lambda: self.model.page_rber(
+                    PageState(
+                        pe_cycles=self.pe_cycles,
+                        retention_days=retention_days * self.thermal_acceleration,
+                        read_count=0,
+                    ),
+                    block_key,
+                    page,
+                ),
+            )
+        else:
+            self._page_base_cache.hits += 1
+        return min(base + self._disturb_per_read * read_count, 0.5)
 
     def exceeds_capability(self, rber: float) -> bool:
         """Whether a conventional read at this RBER enters read-retry."""
         return rber > self.ecc.correction_capability
+
+    # --- perf plumbing ----------------------------------------------------------------
+
+    def invalidate_caches(self) -> None:
+        """Drop the sampler's and the underlying RBER model's memoized
+        values."""
+        self._cold_age_cache.invalidate()
+        self._page_base_cache.invalidate()
+        self.model.invalidate_caches()
+
+    def cache_stats(self) -> List[dict]:
+        """JSON-ready hit/miss counters of this sampler and the underlying
+        RBER model."""
+        return [self._cold_age_cache.stats().to_dict(),
+                self._page_base_cache.stats().to_dict()] + self.model.cache_stats()

@@ -23,7 +23,7 @@ from ..errors import SimulationError
 from .events import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """One unit of serial work on a resource."""
 
@@ -117,8 +117,13 @@ class SerialResource:
         return best
 
     def _try_start(self) -> None:
-        if self._busy or not self._queue:
-            self._settle_blocked(unblocked=not self._queue)
+        if self._busy:
+            # a blocked interval can only be open while idle (it opens on a
+            # gated head and is settled before any job starts), so there is
+            # nothing to account here
+            return
+        if not self._queue:
+            self._settle_blocked(unblocked=True)
             return
         chosen = self._select()
         if chosen is None:

@@ -56,7 +56,7 @@ class PhaseKind(enum.Enum):
     TRANSFER = "transfer"  # channel busy; optionally followed by a decode
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phase:
     """One step of a read plan.
 
@@ -72,7 +72,7 @@ class Phase:
     decode_us: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadPlan:
     """A fully-sampled page read, ready for event-driven execution."""
 

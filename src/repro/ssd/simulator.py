@@ -29,7 +29,7 @@ bit-identical to an untraced one):
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from ..config import SSDConfig
 from ..errors import (
@@ -146,13 +146,13 @@ class SSDSimulator:
 
     def __init__(
         self,
-        config: SSDConfig = None,
+        config: Optional[SSDConfig] = None,
         policy: str = "RiFSSD",
         pe_cycles: float = 0.0,
         seed: SeedLike = 7,
-        outcome_model: EccOutcomeModel = None,
+        outcome_model: Optional[EccOutcomeModel] = None,
         policy_kwargs: Optional[dict] = None,
-        tracer: TimelineTracer = None,
+        tracer: Optional[TimelineTracer] = None,
         reliability_mode: str = "parametric",
         read_disturb_threshold: Optional[int] = None,
         operating_temp_c: Optional[float] = None,
@@ -318,8 +318,8 @@ class SSDSimulator:
             else:
                 self._start_page_write(lpn, state)
 
-    def run(self, until: float = None,
-            stop_condition: Callable[[], bool] = None) -> None:
+    def run(self, until: Optional[float] = None,
+            stop_condition: Optional[Callable[[], bool]] = None) -> None:
         """Drive the event loop (see :meth:`Simulator.run`)."""
         self.sim.run(until=until, stop_condition=stop_condition)
         self.metrics.elapsed_us = self.sim.now
@@ -329,6 +329,18 @@ class SSDSimulator:
         # the window series freezes only after every interval is closed
         if self.snapshots is not None and not self.snapshots.finalized:
             self.snapshots.finalize(self.sim.now)
+        # passive perf telemetry: reliability-cache effectiveness for this
+        # run, alongside the lifecycle events (repro.perf hook)
+        if self.tracer is not None and self.tracer.config.enabled:
+            self.tracer.record_instant(
+                "perf.cache_stats", self.sim.now,
+                args={"caches": self.cache_stats()},
+            )
+
+    def cache_stats(self) -> List[dict]:
+        """JSON-ready hit/miss counters of the reliability sampler's and
+        outcome model's memo caches (see :mod:`repro.perf.cache`)."""
+        return self.sampler.cache_stats() + self.outcome_model.cache_stats()
 
     # --- page read ---------------------------------------------------------------------------
 
@@ -382,7 +394,7 @@ class SSDSimulator:
             return None
         if faults.grown_bad_block:
             addr = target.address
-            pidx = self.mapper.plane_index(addr.channel, addr.die, addr.plane)
+            pidx = self.mapper.plane_index_of(addr)
             result = self.ftl.relocate_block(pidx, addr.block, self.sim.now)
             if result is not None:
                 # retirement: live pages (ours included) moved off the bad
@@ -415,8 +427,7 @@ class SSDSimulator:
         """Read-disturb management: rewrite a heavily-read block, resetting
         its disturb counter (SecI's 'read-disturb management' internal
         traffic)."""
-        pidx = self.mapper.plane_index(address.channel, address.die,
-                                       address.plane)
+        pidx = self.mapper.plane_index_of(address)
         result = self.ftl.relocate_block(pidx, address.block, self.sim.now)
         if result is None:
             return  # unsafe right now; the next read will retry
@@ -446,8 +457,7 @@ class SSDSimulator:
     def _execute_plan(self, plan: ReadPlan, address: PageAddress,
                       state: _RequestState, label: str,
                       faults: Optional[ReadFaultDecision] = None) -> None:
-        plane = self.planes[self.mapper.plane_index(
-            address.channel, address.die, address.plane)]
+        plane = self.planes[self.mapper.plane_index_of(address)]
         channel = self.channels[address.channel]
         ecc = self.eccs[address.channel]
         phases = plan.phases
@@ -650,8 +660,7 @@ class SSDSimulator:
                 Job(duration=self.config.timings.t_erase, tag="ERASE")
             )
         address = result.address
-        plane = self.planes[self.mapper.plane_index(
-            address.channel, address.die, address.plane)]
+        plane = self.planes[self.mapper.plane_index_of(address)]
         channel = self.channels[address.channel]
         t = self.config.timings
 
@@ -673,10 +682,8 @@ class SSDSimulator:
     def _start_gc_copy(self, src: PageAddress, dst: PageAddress) -> None:
         """Internal relocation: sense, move out, move back, program."""
         t = self.config.timings
-        src_plane = self.planes[self.mapper.plane_index(
-            src.channel, src.die, src.plane)]
-        dst_plane = self.planes[self.mapper.plane_index(
-            dst.channel, dst.die, dst.plane)]
+        src_plane = self.planes[self.mapper.plane_index_of(src)]
+        dst_plane = self.planes[self.mapper.plane_index_of(dst)]
         out_channel = self.channels[src.channel]
         in_channel = self.channels[dst.channel]
 

@@ -8,13 +8,13 @@ invariants (non-decreasing timestamps)."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..errors import TraceError
 from .trace import IORequest, Trace
 
 
-def merge(traces: Sequence[Trace], name: str = None) -> Trace:
+def merge(traces: Sequence[Trace], name: Optional[str] = None) -> Trace:
     """Time-interleave several traces into one (multi-tenant colocation).
 
     Requests keep their original timestamps; ties preserve the order of the
@@ -31,7 +31,7 @@ def merge(traces: Sequence[Trace], name: str = None) -> Trace:
     return Trace([req for _key, req in streams], name=merged_name)
 
 
-def scale_rate(trace: Trace, factor: float, name: str = None) -> Trace:
+def scale_rate(trace: Trace, factor: float, name: Optional[str] = None) -> Trace:
     """Speed a trace up (`factor > 1`) or slow it down by compressing the
     inter-arrival times."""
     if factor <= 0:

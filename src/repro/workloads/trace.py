@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Optional
 
 from ..errors import TraceError
 from ..units import KIB
@@ -108,7 +108,7 @@ class Trace:
     # --- CSV round-trip ----------------------------------------------------------------
 
     @classmethod
-    def from_csv(cls, path, name: str = None) -> "Trace":
+    def from_csv(cls, path, name: Optional[str] = None) -> "Trace":
         """Load ``timestamp_us,op,offset_bytes,size_bytes`` rows."""
         path = Path(path)
         requests = []

@@ -92,3 +92,21 @@ def test_simulator_runs_in_lut_mode():
 def test_unknown_reliability_mode_rejected():
     with pytest.raises(SimulationError):
         SSDSimulator(small_test_config(), reliability_mode="psychic")
+
+
+def test_lut_index_clamped_before_caching(monkeypatch):
+    """A unit hash of exactly 1.0 must clamp to the last LUT — and the
+    *clamped* index must be what lands in the assignment cache, so a
+    second lookup cannot resurface an out-of-range value."""
+    s = LutReliabilitySampler(pe_cycles=0, n_lut_blocks=4, seed=1)
+    monkeypatch.setattr("repro.ssd.lut_reliability._hash_to_unit",
+                        lambda *args: 1.0)
+    key = (0, 0, 0, 99)
+    idx = s.lut_index_for_block(key)
+    assert idx == len(s.luts) - 1
+    assert s._assigned[key] == idx  # cached value is the clamped one
+    monkeypatch.undo()
+    # cache hit path returns the same clamped index without re-hashing
+    assert s.lut_index_for_block(key) == idx
+    # and the boundary index still serves rber queries
+    assert 0.0 <= s.rber(key, 0, 5.0) <= 0.5

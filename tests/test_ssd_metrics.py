@@ -64,3 +64,55 @@ def test_channel_usage_fractions():
 def test_channel_usage_empty_interval_rejected():
     with pytest.raises(SimulationError):
         ChannelUsage(0, 0, 0, 0, 0, 0).fractions()
+
+
+# --- percentile fallback chain: raw list -> streaming histogram -> error ---
+
+
+def _metrics_with_reads(keep_raw, latencies=(10.0, 20.0, 30.0, 40.0, 1000.0)):
+    m = SimMetrics(keep_raw_latencies=keep_raw)
+    for lat in latencies:
+        m.record_read_latency(lat)
+    return m
+
+
+def test_percentile_prefers_exact_raw_path():
+    m = _metrics_with_reads(keep_raw=True)
+    # nearest-rank on the raw list: exact values, not bucket midpoints
+    assert m.read_latency_percentile(50) == 30.0
+    assert m.read_latency_percentile(100) == 1000.0
+
+
+def test_percentile_falls_back_to_histogram():
+    m = _metrics_with_reads(keep_raw=False)
+    assert m.read_latencies_us == []  # raw path genuinely off
+    assert m.read_latency_hist.count == 5
+    p50 = m.read_latency_percentile(50)
+    assert p50 == pytest.approx(30.0, rel=m.read_latency_hist.relative_error)
+    # the extremes are exact in the histogram (tracked min/max)
+    assert m.read_latency_percentile(100) == 1000.0
+
+
+def test_percentile_chain_exhausted_raises():
+    m = SimMetrics(keep_raw_latencies=False)
+    with pytest.raises(SimulationError):
+        m.read_latency_percentile(50)
+    with pytest.raises(SimulationError):
+        m.read_latency_cdf()
+
+
+def test_cdf_falls_back_to_histogram():
+    m = _metrics_with_reads(keep_raw=False)
+    cdf = m.read_latency_cdf(points=10)
+    lats = [lat for lat, _f in cdf]
+    fracs = [f for _lat, f in cdf]
+    assert lats == sorted(lats)
+    assert fracs[-1] == pytest.approx(1.0)
+
+
+def test_raw_and_histogram_percentiles_agree_within_bucket_error():
+    m = _metrics_with_reads(keep_raw=True)
+    rel = m.read_latency_hist.relative_error
+    for q in (25, 50, 75, 90, 100):
+        exact = m.read_latency_percentile(q)
+        assert m.read_latency_hist.percentile(q) == pytest.approx(exact, rel=rel)
