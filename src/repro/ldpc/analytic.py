@@ -21,9 +21,13 @@ from ..errors import ConfigError
 from .qc_matrix import QcLdpcCode
 
 
+_SQRT2 = math.sqrt(2.0)
+
+
 def _phi(x: float) -> float:
-    """Standard normal CDF."""
-    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+    """Standard normal CDF (same constant, same division as the textbook
+    ``x / sqrt(2)`` form — hoisting the square root changes no bits)."""
+    return 0.5 * (1.0 + math.erf(x / _SQRT2))
 
 
 @dataclass(frozen=True)
@@ -84,9 +88,15 @@ class SyndromeStatistics:
     def prob_weight_exceeds(self, threshold: float, rber: float) -> float:
         """P[syndrome weight > threshold] at error rate ``rber`` — the
         probability the RP comparator predicts "needs retry"  (normal
-        approximation with continuity correction)."""
-        mu = self.expected_weight(rber)
-        sigma = self.weight_std(rber)
+        approximation with continuity correction).
+
+        ``q`` is evaluated once and shared between the mean and the
+        standard deviation (this runs once per simulated page read; the
+        combined expressions are exactly those of :meth:`expected_weight`
+        and :meth:`weight_std`)."""
+        q = self.check_unsatisfied_probability(rber)
+        mu = self.n_checks * q
+        sigma = math.sqrt(self.n_checks * q * (1.0 - q))
         if sigma == 0.0:
             return 1.0 if mu > threshold else 0.0
         return 1.0 - _phi((threshold + 0.5 - mu) / sigma)

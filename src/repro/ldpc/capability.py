@@ -53,10 +53,16 @@ class CapabilityCurve:
     midpoint: float
     slope: float
 
+    def __post_init__(self) -> None:
+        # log(midpoint) is a constant of the curve; precomputing it saves
+        # one transcendental per failure_probability call (same float, so
+        # results are bit-identical)
+        object.__setattr__(self, "_log_midpoint", math.log(self.midpoint))
+
     def failure_probability(self, rber: float) -> float:
         if rber <= 0:
             return 0.0
-        x = self.slope * (math.log(rber) - math.log(self.midpoint))
+        x = self.slope * (math.log(rber) - self._log_midpoint)
         # clamp to avoid overflow for extreme arguments
         if x > 60:
             return 1.0

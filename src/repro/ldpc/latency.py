@@ -25,16 +25,21 @@ class EccLatencyModel:
             raise ConfigError("growth_exponent must be positive")
         self.ecc = ecc or EccConfig()
         self.growth_exponent = growth_exponent
+        # the config is immutable: bind the curve parameters once so the
+        # per-decode hot path skips the config attribute hops (identical
+        # values, identical float expressions)
+        self._cap = self.ecc.correction_capability
+        self._max_it = self.ecc.max_iterations
+        self._max_it_f = float(self.ecc.max_iterations)
+        self._gain = self.ecc.max_iterations - 1.0
 
     def iterations(self, rber: float) -> float:
         """Expected decoding iterations at ``rber`` (continuous; Fig. 3b)."""
         if rber < 0:
             raise ConfigError("rber must be non-negative")
-        cap = self.ecc.correction_capability
-        max_it = self.ecc.max_iterations
-        ratio = rber / cap
-        value = 1.0 + (max_it - 1.0) * ratio ** self.growth_exponent
-        return min(value, float(max_it))
+        ratio = rber / self._cap
+        value = 1.0 + self._gain * ratio ** self.growth_exponent
+        return min(value, self._max_it_f)
 
     def latency_us(self, rber: float, failed: bool = False) -> float:
         """Decoder occupancy for one page at ``rber``.
@@ -42,8 +47,9 @@ class EccLatencyModel:
         A failed decode always burns the full iteration budget
         (= ``t_ecc_max``), regardless of how small the model's expected
         iteration count is."""
+        ecc = self.ecc
         if failed:
-            return self.ecc.t_ecc_max
+            return ecc.t_ecc_max
         it = self.iterations(rber)
-        frac = (it - 1.0) / (self.ecc.max_iterations - 1.0)
-        return self.ecc.t_ecc_min + frac * (self.ecc.t_ecc_max - self.ecc.t_ecc_min)
+        frac = (it - 1.0) / (self._max_it - 1.0)
+        return ecc.t_ecc_min + frac * (ecc.t_ecc_max - ecc.t_ecc_min)

@@ -103,21 +103,41 @@ class AddressMapper:
         return page_in_plane * self._planes_total + pidx
 
     def address(self, ppn: int) -> PageAddress:
-        """Inverse of :meth:`ppn` (memoized; addresses are immutable)."""
-        addr = self._address_table.get(ppn) if _perf_cache._ENABLED else None
-        if addr is None:
-            return self._address_cache.get_or_compute(
-                ppn, lambda: self._address_uncached(ppn)
-            )
-        self._address_cache.hits += 1
-        return addr
+        """Inverse of :meth:`ppn` (memoized; addresses are immutable).
+
+        Miss path hand-inlined with :meth:`MemoCache.get_or_compute`'s
+        exact counter discipline: every freshly written page carries a
+        never-seen ppn, so write-heavy runs miss here once per write."""
+        cache = self._address_cache
+        if _perf_cache._ENABLED:
+            table = self._address_table
+            addr = table.get(ppn)
+            if addr is not None:
+                cache.hits += 1
+                return addr
+            cache.misses += 1
+            addr = self._address_uncached(ppn)
+            if len(table) >= cache.max_entries:
+                table.clear()
+                cache.evictions += 1
+            table[ppn] = addr
+            return addr
+        return cache.get_or_compute(
+            ppn, lambda: self._address_uncached(ppn)
+        )
 
     def _address_uncached(self, ppn: int) -> PageAddress:
         g = self.geometry
         self._check_range(ppn, g.total_pages, "ppn")
-        pidx = ppn % self._planes_total
-        page_in_plane = ppn // self._planes_total
-        channel, die, plane = self.plane_from_index(pidx)
+        planes_total = self._planes_total
+        pidx = ppn % planes_total
+        page_in_plane = ppn // planes_total
+        # plane_from_index, inlined (pure integer decode, same results)
+        channels = g.channels
+        channel = pidx % channels
+        rest = pidx // channels
+        die = rest % g.dies_per_channel
+        plane = rest // g.dies_per_channel
         block = page_in_plane // g.pages_per_block
         page = page_in_plane % g.pages_per_block
         return PageAddress(channel, die, plane, block, page)

@@ -23,10 +23,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from ..config import EccConfig, ReliabilityConfig
 from ..errors import ConfigError
+from ..perf import cache as _perf_cache
 from ..perf.cache import MemoCache
 from .variation import VariationModel, _unit_to_standard_normal
 
@@ -110,8 +113,15 @@ class RberModel:
     def anchor_cross_days(self, pe_cycles: float) -> float:
         """Retention time (days) at which the weakest (``anchor_quantile``)
         pages cross the ECC correction capability — Fig. 4's left edge.
-        Memoized on the exact wear level."""
-        return self._anchor_cache.get_or_compute(
+        Memoized on the exact wear level (inline probe: a simulation runs
+        at one wear point, so this is all hits after the first call)."""
+        cache = self._anchor_cache
+        if _perf_cache._ENABLED:
+            days = cache._table.get(pe_cycles)
+            if days is not None:
+                cache.hits += 1
+                return days
+        return cache.get_or_compute(
             pe_cycles, lambda: self._anchor_cross_days_uncached(pe_cycles)
         )
 
@@ -140,9 +150,16 @@ class RberModel:
 
     def rber_prog(self, pe_cycles: float) -> float:
         """Program-time RBER (retention age zero) of the median page.
-        Memoized on the exact wear level."""
+        Memoized on the exact wear level (inline probe, see
+        :meth:`anchor_cross_days`)."""
+        cache = self._prog_cache
+        if _perf_cache._ENABLED:
+            prog = cache._table.get(pe_cycles)
+            if prog is not None:
+                cache.hits += 1
+                return prog
         r = self.reliability
-        return self._prog_cache.get_or_compute(
+        return cache.get_or_compute(
             pe_cycles,
             lambda: r.rber_prog_fresh
             * (1.0 + r.rber_prog_pe_slope * pe_cycles / 1000.0),
@@ -155,8 +172,14 @@ class RberModel:
         ``coefficient * read_count`` product is left-associated exactly as
         the unmemoized expression evaluates, so results are bit-identical.
         """
+        cache = self._disturb_cache
+        if _perf_cache._ENABLED:
+            per_read = cache._table.get(pe_cycles)
+            if per_read is not None:
+                cache.hits += 1
+                return per_read * read_count
         r = self.reliability
-        per_read = self._disturb_cache.get_or_compute(
+        per_read = cache.get_or_compute(
             pe_cycles,
             lambda: r.read_disturb_per_read
             * (1.0 + r.read_disturb_pe_slope * pe_cycles / 1000.0),
@@ -178,13 +201,80 @@ class RberModel:
         """
         return self._rber_with_factor(state, self._page_variation(block_key, page))
 
+    def page_rber_batch(
+        self,
+        states: Sequence[PageState],
+        block_keys: Sequence[tuple],
+        pages: Sequence[int],
+    ) -> np.ndarray:
+        """Vectorized :meth:`page_rber` over a batch of reads.
+
+        The transcendental pieces — variation hashes through the inverse
+        normal, the retention power law — evaluate through the same
+        memoized scalar functions (numpy's SIMD transcendentals differ
+        from libm in the last ulp, so vectorizing them would break
+        bit-identity with the scalar path); the read-disturb combine and
+        the 0.5 ceiling are one exact vectorized pass.  Lane ``i`` equals
+        ``page_rber(states[i], block_keys[i], pages[i])`` bit for bit.
+        """
+        n = len(states)
+        bases = np.fromiter(
+            (self._base_cache.get_or_compute(
+                (s.pe_cycles, s.retention_days, f),
+                lambda s=s, f=f: self._retention_base(
+                    s.pe_cycles, s.retention_days, f
+                ),
+            ) for s, f in zip(
+                states,
+                (self._page_variation(bk, pg)
+                 for bk, pg in zip(block_keys, pages)),
+            )),
+            dtype=np.float64, count=n,
+        )
+        disturb = np.fromiter(
+            (self.read_disturb_rber(s.pe_cycles, s.read_count)
+             for s in states),
+            dtype=np.float64, count=n,
+        )
+        return np.minimum(bases + disturb, 0.5)
+
     def _page_variation(self, block_key: tuple, page: int) -> float:
         """Combined block*page strength factor, memoized per physical page
         (the hash + inverse-normal evaluation is pure in (seed, key)).
         The block term is memoized separately so the first read of a new
         page in an already-seen block only pays the page hash."""
-        return self._factor_cache.get_or_compute(
-            (block_key, page),
+        key = (block_key, page)
+        cache = self._factor_cache
+        if _perf_cache._ENABLED:
+            table = cache._table
+            factor = table.get(key)
+            if factor is not None:
+                cache.hits += 1
+                return factor
+            # Hand-inlined miss path (same counter discipline as the
+            # nested get_or_compute chain below, which the caches-disabled
+            # reference keeps): probe the block factor, then combine.
+            cache.misses += 1
+            bcache = self._block_factor_cache
+            btable = bcache._table
+            bf = btable.get(block_key)
+            if bf is None:
+                bcache.misses += 1
+                bf = self.variation.block_factor(block_key)
+                if len(btable) >= bcache.max_entries:
+                    btable.clear()
+                    bcache.evictions += 1
+                btable[block_key] = bf
+            else:
+                bcache.hits += 1
+            factor = bf * self.variation.page_factor(block_key, page)
+            if len(table) >= cache.max_entries:
+                table.clear()
+                cache.evictions += 1
+            table[key] = factor
+            return factor
+        return cache.get_or_compute(
+            key,
             lambda: self._block_factor_cache.get_or_compute(
                 block_key, lambda: self.variation.block_factor(block_key)
             )
@@ -200,13 +290,30 @@ class RberModel:
         # The retention base (everything except read disturb) is memoized:
         # a page's wear and age repeat across reads, its read count does
         # not.  ``base + disturb`` associates exactly like the original
-        # ``r_prog + retention_term + disturb``.
-        base = self._base_cache.get_or_compute(
-            (state.pe_cycles, state.retention_days, strength_factor),
-            lambda: self._retention_base(
+        # ``r_prog + retention_term + disturb``.  Miss path hand-inlined
+        # with get_or_compute's exact counter discipline — per-page ages
+        # make misses common here.
+        cache = self._base_cache
+        key = (state.pe_cycles, state.retention_days, strength_factor)
+        if _perf_cache._ENABLED:
+            table = cache._table
+            base = table.get(key)
+            if base is not None:
+                cache.hits += 1
+            else:
+                cache.misses += 1
+                base = self._retention_base(
+                    state.pe_cycles, state.retention_days, strength_factor
+                )
+                if len(table) >= cache.max_entries:
+                    table.clear()
+                    cache.evictions += 1
+                table[key] = base
+        else:
+            cache.misses += 1
+            base = self._retention_base(
                 state.pe_cycles, state.retention_days, strength_factor
-            ),
-        )
+            )
         rber = base + self.read_disturb_rber(state.pe_cycles, state.read_count)
         # physical ceiling: a completely scrambled page is 50% wrong
         return min(rber, 0.5)

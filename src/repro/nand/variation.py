@@ -30,12 +30,56 @@ def _mix64(x: int) -> int:
 
 
 def _hash_to_unit(seed: int, *keys: int) -> float:
-    """Map (seed, keys...) to a uniform float in (0, 1), deterministically."""
-    h = _mix64(seed & 0xFFFFFFFFFFFFFFFF)
+    """Map (seed, keys...) to a uniform float in (0, 1), deterministically.
+
+    The SplitMix64 rounds are inlined (exact integer arithmetic, same
+    values as :func:`_mix64`): this runs twice per key on every
+    block/page-factor miss, where the call frames dominate the hashing.
+    """
+    x = seed & 0xFFFFFFFFFFFFFFFF
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    h = x ^ (x >> 31)
     for k in keys:
-        h = _mix64(h ^ _mix64(k & 0xFFFFFFFFFFFFFFFF))
+        x = ((k & 0xFFFFFFFFFFFFFFFF) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        x = h ^ x ^ (x >> 31)
+        x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        h = x ^ (x >> 31)
     # keep strictly inside (0,1) so the normal quantile below is finite
     return (h + 0.5) / 2.0**64
+
+
+def _mix64_batch(x: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finaliser over a uint64 array.
+
+    uint64 arithmetic wraps modulo 2**64, which is exactly the ``& mask``
+    of the scalar :func:`_mix64` — every lane equals the scalar hash.
+    """
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def hash_to_unit_batch(seed: int, key: int, values: np.ndarray) -> np.ndarray:
+    """Vectorized ``_hash_to_unit(seed, key, v)`` over an int array.
+
+    Bit-exact per lane: the (seed, key) prefix folds to one scalar
+    constant, the per-value fold and the (h + 0.5) / 2**64 mapping use
+    only exact uint64/float64 operations.  Used by the batched read
+    pipeline to sample a whole batch of cold ages at once.
+    """
+    prefix = np.uint64(_mix64(_mix64(seed & 0xFFFFFFFFFFFFFFFF)
+                              ^ _mix64(key & 0xFFFFFFFFFFFFFFFF)))
+    with np.errstate(over="ignore"):
+        h = _mix64_batch(prefix ^ _mix64_batch(
+            np.asarray(values, dtype=np.uint64)))
+    return (h.astype(np.float64) + 0.5) / 2.0**64
 
 
 def _unit_to_standard_normal(u: float) -> float:

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from ..config import EccConfig
 from ..core.accuracy import RpAccuracyModel
@@ -37,6 +39,15 @@ class DecodeDraw:
 
     success: bool
     t_ecc: float
+
+
+#: Uniform draws prefetched per ``Generator.random(n)`` call.  PCG64's
+#: ``random(n)`` returns exactly the next ``n`` doubles of the stream, so
+#: serving scalar draws out of a prefetched chunk consumes the *same
+#: values in the same order* as one ``random()`` call per draw — the RNG
+#: stream-order contract the batched core relies on, pinned by
+#: ``tests/test_perf_equivalence.py``.
+_UNIFORM_CHUNK = 512
 
 
 class EccOutcomeModel:
@@ -59,6 +70,9 @@ class EccOutcomeModel:
         self.rp_model = rp_model or RpAccuracyModel.paper_nominal()
         self.retry_rber_factor = retry_rber_factor
         self.rng = make_rng(seed)
+        # buffered uniform stream (see _next_uniform / _UNIFORM_CHUNK)
+        self._uniform_chunk: Optional[np.ndarray] = None
+        self._uniform_pos = 0
         # --- hot-path memo caches (repro.perf; exact rber keys) ------------
         # Only the *probabilities* and *latencies* are cached — every rng
         # draw stays on the live stream, so the sampled outcome sequence is
@@ -85,27 +99,107 @@ class EccOutcomeModel:
 
     def _decode_params(self, rber: float) -> tuple:
         """(P[fail], tECC on success, tECC on failure) at ``rber`` — one
-        fused lookup per decode; all three are pure curve evaluations."""
-        params = self._decode_table.get(rber) if _perf_cache._ENABLED else None
-        if params is None:
-            return self._decode_cache.get_or_compute(
-                rber,
-                lambda: (
-                    self.failure_curve.failure_probability(rber),
-                    self.latency.latency_us(rber, failed=False),
-                    self.latency.latency_us(rber, failed=True),
-                ),
+        fused lookup per decode; all three are pure curve evaluations.
+
+        The miss path is hand-inlined (same counter discipline as
+        :meth:`MemoCache.get_or_compute`): per-read rber keys shift with
+        the disturb term, so misses are the common case on the hot path.
+        """
+        cache = self._decode_cache
+        if _perf_cache._ENABLED:
+            table = self._decode_table
+            params = table.get(rber)
+            if params is not None:
+                cache.hits += 1
+                return params
+            cache.misses += 1
+            params = (
+                self.failure_curve.failure_probability(rber),
+                self.latency.latency_us(rber, failed=False),
+                # == latency_us(rber, failed=True), which returns this
+                # constant unconditionally
+                self.latency.ecc.t_ecc_max,
             )
-        self._decode_cache.hits += 1
-        return params
+            if len(table) >= cache.max_entries:
+                table.clear()
+                cache.evictions += 1
+            table[rber] = params
+            return params
+        cache.misses += 1
+        return (
+            self.failure_curve.failure_probability(rber),
+            self.latency.latency_us(rber, failed=False),
+            self.latency.latency_us(rber, failed=True),
+        )
+
+    # --- the uniform stream ----------------------------------------------------------
+
+    def _next_uniform(self) -> float:
+        """Next double of ``self.rng``'s uniform stream, served from a
+        numpy-prefetched chunk (identical values and order to calling
+        ``self.rng.random()`` once per draw; see :data:`_UNIFORM_CHUNK`)."""
+        pos = self._uniform_pos
+        chunk = self._uniform_chunk
+        if chunk is None or pos == len(chunk):
+            chunk = self._uniform_chunk = self.rng.random(_UNIFORM_CHUNK)
+            pos = 0
+        self._uniform_pos = pos + 1
+        return float(chunk[pos])
+
+    def uniform_batch(self, n: int) -> np.ndarray:
+        """The next ``n`` uniforms of the stream as one array.
+
+        Drains the buffered chunk first, so interleaving batch and scalar
+        draws consumes the stream in strict call order — the contract that
+        lets the batched core pre-sample whole batches while staying
+        bit-identical to the scalar path.
+        """
+        if n < 0:
+            raise ConfigError("n must be non-negative")
+        out = np.empty(n, dtype=np.float64)
+        filled = 0
+        while filled < n:
+            pos = self._uniform_pos
+            chunk = self._uniform_chunk
+            if chunk is None or pos == len(chunk):
+                chunk = self._uniform_chunk = self.rng.random(_UNIFORM_CHUNK)
+                pos = 0
+            take = min(n - filled, len(chunk) - pos)
+            out[filled:filled + take] = chunk[pos:pos + take]
+            self._uniform_pos = pos + take
+            filled += take
+        return out
 
     # --- decode attempts -------------------------------------------------------------
 
     def first_decode(self, rber: float) -> DecodeDraw:
         """Outcome of decoding the default-VREF sense."""
         p_fail, t_ok, t_fail = self._decode_params(rber)
-        success = self.rng.random() >= p_fail
+        success = self._next_uniform() >= p_fail
         return DecodeDraw(success=success, t_ecc=t_ok if success else t_fail)
+
+    def first_decode_outcome(self, rber: float):
+        """``(success, t_ecc)`` of :meth:`first_decode` without the
+        :class:`DecodeDraw` wrapper — the plan compilers run once per page
+        read, so the per-draw allocation is worth skipping.  Same params,
+        same single uniform draw, bit-identical outcome."""
+        p_fail, t_ok, t_fail = self._decode_params(rber)
+        if self._next_uniform() >= p_fail:
+            return True, t_ok
+        return False, t_fail
+
+    def first_decode_batch(self, rbers: Sequence[float]) -> List[DecodeDraw]:
+        """Decode outcomes for a batch of independent first senses: one
+        vectorized uniform draw for the whole batch, consumed in batch
+        order (exactly the stream positions the scalar loop would use)."""
+        us = self.uniform_batch(len(rbers))
+        draws = []
+        for rber, u in zip(rbers, us):
+            p_fail, t_ok, t_fail = self._decode_params(rber)
+            success = u >= p_fail
+            draws.append(DecodeDraw(success=bool(success),
+                                    t_ecc=t_ok if success else t_fail))
+        return draws
 
     def retry_rber(self, rber: float) -> float:
         """Effective RBER after a near-optimal VREF adjustment: the residual
@@ -115,8 +209,16 @@ class EccOutcomeModel:
     def retried_decode(self, rber: float) -> DecodeDraw:
         """Outcome of decoding a re-read with near-optimal VREF."""
         p_fail, t_ok, t_fail = self._decode_params(self.retry_rber(rber))
-        success = self.rng.random() >= p_fail
+        success = self._next_uniform() >= p_fail
         return DecodeDraw(success=success, t_ecc=t_ok if success else t_fail)
+
+    def retried_decode_outcome(self, rber: float):
+        """``(success, t_ecc)`` twin of :meth:`retried_decode` (see
+        :meth:`first_decode_outcome`)."""
+        p_fail, t_ok, t_fail = self._decode_params(self.retry_rber(rber))
+        if self._next_uniform() >= p_fail:
+            return True, t_ok
+        return False, t_fail
 
     def healthy_decode(self, rber: float) -> DecodeDraw:
         """Decode of a page as seen by the hypothetical SSDzero: always
@@ -128,15 +230,28 @@ class EccOutcomeModel:
     # --- RP verdicts --------------------------------------------------------------------
 
     def rp_predicts_retry(self, rber: float) -> bool:
-        """Sample the on-die (or controller-side) RP comparator."""
-        p = self._p_retry_table.get(rber) if _perf_cache._ENABLED else None
-        if p is None:
-            p = self._p_retry_cache.get_or_compute(
-                rber, lambda: self.rp_model.p_predict_retry(rber)
-            )
+        """Sample the on-die (or controller-side) RP comparator.
+
+        Miss path hand-inlined with :meth:`MemoCache.get_or_compute`'s
+        exact counter discipline — per-read rber keys make misses the
+        common case here (see ``_decode_params``)."""
+        cache = self._p_retry_cache
+        if _perf_cache._ENABLED:
+            table = self._p_retry_table
+            p = table.get(rber)
+            if p is None:
+                cache.misses += 1
+                p = self.rp_model.p_predict_retry(rber)
+                if len(table) >= cache.max_entries:
+                    table.clear()
+                    cache.evictions += 1
+                table[rber] = p
+            else:
+                cache.hits += 1
         else:
-            self._p_retry_cache.hits += 1
-        return bool(self.rng.random() < p)
+            cache.misses += 1
+            p = self.rp_model.p_predict_retry(rber)
+        return bool(self._next_uniform() < p)
 
     #: P[RP flags a page | that page's decode would fail] — Fig. 11's
     #: measured accuracy on uncorrectable pages (99.1% exact, 98.7% with
@@ -151,7 +266,7 @@ class EccOutcomeModel:
         probability (the marginal ``rp_predicts_retry`` underestimates the
         catch rate because failure conditions on a high error count)."""
         del rber  # the conditioning dominates the marginal rate
-        return bool(self.rng.random() < self.p_catch_uncorrectable)
+        return bool(self._next_uniform() < self.p_catch_uncorrectable)
 
     # --- misc draws -----------------------------------------------------------------------
 
@@ -160,7 +275,7 @@ class EccOutcomeModel:
         read) from the same stream, for reproducibility."""
         if not 0 <= p <= 1:
             raise ConfigError("probability must be in [0, 1]")
-        return bool(self.rng.random() < p)
+        return bool(self._next_uniform() < p)
 
 
 class ScriptedEccOutcomeModel(EccOutcomeModel):
@@ -199,8 +314,18 @@ class ScriptedEccOutcomeModel(EccOutcomeModel):
         t = self.t_ecc_ok if success else self.ecc.t_ecc_max
         return DecodeDraw(success=success, t_ecc=t)
 
+    def first_decode_outcome(self, rber: float):
+        # delegate through the virtual draw methods so scripted scenarios
+        # (and their test subclasses) keep steering the tuple fast path
+        draw = self.first_decode(rber)
+        return draw.success, draw.t_ecc
+
     def retried_decode(self, rber: float) -> DecodeDraw:
         return DecodeDraw(success=True, t_ecc=self.ecc.t_ecc_min)
+
+    def retried_decode_outcome(self, rber: float):
+        draw = self.retried_decode(rber)
+        return draw.success, draw.t_ecc
 
     def healthy_decode(self, rber: float) -> DecodeDraw:
         return DecodeDraw(success=True, t_ecc=self.t_ecc_ok)

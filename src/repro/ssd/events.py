@@ -3,6 +3,15 @@
 Deliberately minimal — the simulator needs only "call this function at time
 t" with FIFO tie-breaking.  All times are microseconds (see
 :mod:`repro.units`).
+
+The run loop drains all events that share the current timestamp as one
+batch (the batched read pipeline schedules many same-time completions, and
+popping them together keeps the Python-level loop overhead off the common
+case).  Ordering is unchanged from the one-event-at-a-time loop: the heap
+yields equal-time entries in tie-break order, and work scheduled *at the
+current timestamp by a batch callback* receives a larger tie-break value,
+so it lands in the next drain round — exactly where the scalar loop would
+have processed it.
 """
 
 from __future__ import annotations
@@ -14,15 +23,25 @@ from ..errors import SimulationError
 
 
 class EventQueue:
-    """Min-heap of (time, seq, callback) with stable ordering."""
+    """Min-heap of ``(time, tie_break, callback)`` with stable ordering.
+
+    ``tie_break`` is an explicit monotonic counter assigned at push time:
+    equal-time events always pop in submission (FIFO) order, regardless of
+    how the heap happens to sift them.  This is load-bearing — resource
+    completion order, and through it every simulated latency, depends on
+    it — and pinned by ``tests/test_ssd_events.py``.
+    """
 
     def __init__(self):
         self._heap = []
-        self._seq = 0
+        #: next tie-break value; strictly increases with every push and is
+        #: never reused, so (time, tie_break) is a total order
+        self.tie_break = 0
 
     def push(self, time: float, callback: Callable[[], None]) -> None:
-        heapq.heappush(self._heap, (time, self._seq, callback))
-        self._seq += 1
+        seq = self.tie_break
+        self.tie_break = seq + 1
+        heapq.heappush(self._heap, (time, seq, callback))
 
     def pop(self):
         if not self._heap:
@@ -74,7 +93,7 @@ class Simulator:
         stop_condition: Optional[Callable[[], bool]] = None,
         max_events: int = 100_000_000,
     ) -> None:
-        """Process events in time order.
+        """Process events in time order, draining same-time batches.
 
         ``until`` bounds simulated time; ``stop_condition`` is checked after
         every event; ``max_events`` bounds *this call* (the lifetime total
@@ -87,21 +106,58 @@ class Simulator:
         # hot path, and EventQueue.push always mutates this same list
         heap = self.events._heap
         pop = heapq.heappop
-        while heap and not self._stopped:
-            if until is not None and heap[0][0] > until:
-                self.now = until
-                break
-            time, _seq, callback = pop(heap)
-            if time < self.now:
-                raise SimulationError("event queue went backwards in time")
-            self.now = time
-            callback()
-            processed_this_run += 1
-            self._processed += 1
-            if processed_this_run > max_events:
-                raise SimulationError(f"exceeded {max_events} events")
-            if stop_condition is not None and stop_condition():
-                break
+        push = heapq.heappush
+        batch: list = []
+        # the lifetime total is folded in once on exit (the finally below)
+        # instead of per event; nothing observes it mid-run
+        try:
+            while heap and not self._stopped:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                if time < self.now:
+                    raise SimulationError("event queue went backwards in time")
+                self.now = time
+                entry = pop(heap)
+                if not heap or heap[0][0] != time:
+                    # singleton fast path: nothing shares this timestamp, so
+                    # skip the batch bookkeeping entirely
+                    entry[2]()
+                    processed_this_run += 1
+                    if processed_this_run > max_events:
+                        raise SimulationError(f"exceeded {max_events} events")
+                    if stop_condition is not None and stop_condition():
+                        break
+                    continue
+                # drain everything already queued at exactly this timestamp,
+                # in tie-break (FIFO) order; same-time work scheduled by a
+                # batch callback has a larger tie-break and is collected
+                # next round
+                del batch[:]
+                batch.append(entry)
+                while heap and heap[0][0] == time:
+                    batch.append(pop(heap))
+                halted = False
+                for index, (_t, _seq, callback) in enumerate(batch):
+                    callback()
+                    processed_this_run += 1
+                    if processed_this_run > max_events:
+                        # restore the unprocessed tail (original tie-breaks)
+                        # so a caught overrun leaves the queue resumable
+                        for entry in batch[index + 1:]:
+                            push(heap, entry)
+                        raise SimulationError(f"exceeded {max_events} events")
+                    if self._stopped or (stop_condition is not None
+                                         and stop_condition()):
+                        for entry in batch[index + 1:]:
+                            push(heap, entry)
+                        halted = True
+                        break
+                if halted:
+                    break
+        finally:
+            self._processed += processed_this_run
 
     def stop(self) -> None:
         """Request the run loop to exit after the current event."""

@@ -134,8 +134,15 @@ class PageMapFtl:
     # --- reads -----------------------------------------------------------------------
 
     def read(self, lpn: int) -> ReadTarget:
-        """Resolve a logical read and bump the block's read counter."""
-        ppn = self.current_ppn(lpn)
+        """Resolve a logical read and bump the block's read counter.
+
+        Inlines :meth:`current_ppn` (and evaluates the identity fallback
+        lazily) — this is the per-read hot path."""
+        if not 0 <= lpn < self.user_pages:
+            raise TraceError(f"lpn {lpn} outside user space [0, {self.user_pages})")
+        ppn = self._map.get(lpn)
+        if ppn is None:
+            ppn = self._ppn_identity(lpn)
         addr = self.mapper.address(ppn)
         key = (self.mapper.plane_index_of(addr), addr.block)
         reads = self._block_reads.get(key, 0) + 1
@@ -147,6 +154,25 @@ class PageMapFtl:
             written_at_us=written,
             block_read_count=reads,
         )
+
+    def resolve_fast(self, lpn: int) -> tuple:
+        """``(ppn, written_at_us)`` of one logical read, nothing else.
+
+        Allocation-lean resolver for the batched pipeline: same lookup as
+        :meth:`read` but no :class:`ReadTarget`, no address decode, and no
+        read-counter bump — the caller's memoized route carries the
+        ``block_reads`` key and bumps the counter itself (same key values,
+        same per-lpn order, so the counts match :meth:`read` exactly).
+        ``written_at_us`` is ``None`` for a cold page, exactly
+        :attr:`ReadTarget.cold`.
+        """
+        if not 0 <= lpn < self.user_pages:
+            raise TraceError(
+                f"lpn {lpn} outside user space [0, {self.user_pages})")
+        ppn = self._map.get(lpn)
+        if ppn is None:
+            ppn = self._ppn_identity(lpn)
+        return ppn, self.written_at_us.get(ppn)
 
     # --- writes ------------------------------------------------------------------------
 

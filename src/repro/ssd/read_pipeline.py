@@ -1,0 +1,980 @@
+"""Batched structure-of-arrays read pipeline — the live simulation core.
+
+The scalar reference pipeline in :mod:`~repro.ssd.simulator` compiles each
+page read into a :class:`~repro.ssd.retry_policies.ReadPlan` and walks it
+with a chain of nested closures, allocating a ``Phase`` object, a ``Job``
+and two lambdas per hop.  At QD-64 with millions of page reads that churn
+dominates the wall clock.  This module replaces it with:
+
+* **Fast resources** (:class:`FastFifo`, :class:`FastChannel`,
+  :class:`FastEcc`) — allocation-free reimplementations of
+  :class:`~repro.ssd.resources.SerialResource` /
+  :class:`~repro.ssd.resources.EccEngine` that keep the *exact* event
+  causal order of the originals: completion events are pushed at the same
+  points, handler internals run in the same sequence (account -> probes ->
+  callback -> start next), so the event queue's tie-break order — and with
+  it every timestamp, metric and trace event — is bit-identical.
+* **An explicit per-read state machine** (:class:`ReadPipeline`) over
+  structure-of-arrays slot storage: one parallel array per field (phase
+  list, cursor, owning resources, fault bookkeeping), one persistent bound
+  callback per slot and transition.  Plans are compiled into reused flat
+  ``(kind, duration, tag, decode_us)`` tuples via
+  :meth:`~repro.ssd.retry_policies.RetryPolicy.plan_into`, never into
+  ``ReadPlan`` objects.
+* **Vectorized sampling**: whole requests resolve their cold ages and
+  RBERs through the batch entry points
+  (:meth:`~repro.ssd.reliability.PageReliabilitySampler.cold_age_days_batch`
+  / ``rber_batch``), which are bit-identical to the scalar calls.
+
+Equivalence with the scalar core is not best-effort — it is asserted down
+to ``to_dict()`` equality and trace-stream equality by
+``tests/test_perf_equivalence.py``; select the reference core with
+:func:`repro.ssd.core_mode.scalar_core` (or ``REPRO_SCALAR_CORE=1``).
+
+Ordering contracts replicated from the scalar core (load-bearing — any
+deviation shows up as a timestamp diff):
+
+* resource finish handler: ``busy = False`` -> busy-time accounting ->
+  ``jobs_completed`` -> probes -> completion callback -> start next queued
+  entry (a callback that enqueues on the same resource starts the *queue
+  head*, exactly like ``SerialResource.submit`` during ``_finish``);
+* gated channel entries reserve their decoder-buffer slot when the
+  transfer *starts*; the slot is released when the decode completes,
+  **before** the decode's trace span is recorded and the plan advances
+  (release kicks the channel, so a waiting transfer starts within the same
+  callback, ahead of the advancing read's next event);
+* a blocked (gated-head) interval opens when the head cannot start and
+  closes — with an ``ECCWAIT`` probe when it has nonzero width — right
+  before the next job starts, identical to ``SerialResource``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import partial
+from heapq import heappush
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ReproError, RetryExhaustedError, SimulationError
+from .reliability import _VEC_MIN
+from .resources import Job
+from .retry_policies import (
+    K_SENSE,
+    K_TRANSFER,
+    TAG_GC,
+    TAG_UNCOR,
+    TAG_WRITE,
+    PlanBuild,
+)
+
+
+class FastFifo:
+    """Strict-FIFO serial resource (planes, host link, decode units).
+
+    API-compatible with the :class:`~repro.ssd.resources.SerialResource`
+    surface the simulator touches (``submit``/``kick``/``attach_probe``/
+    ``finalize``/accounting attributes), plus the allocation-free
+    :meth:`occupy` fast path the pipeline drives directly.  ``last_start``
+    holds the start time of the most recently finished job so completion
+    handlers can record exact spans without a per-job closure.
+    """
+
+    __slots__ = ("sim", "name", "busy_time_by_tag", "blocked_time",
+                 "jobs_completed", "last_start", "_queue", "_busy",
+                 "_probes", "_cur", "_finish_cb", "_events")
+
+    def __init__(self, sim, name: str):
+        self.sim = sim
+        self._events = sim.events
+        self.name = name
+        self._queue: deque = deque()
+        self._busy = False
+        self.busy_time_by_tag: Dict[str, float] = {}
+        #: a plain FIFO has no gate, so it can never block (kept for the
+        #: channel-usage accounting surface)
+        self.blocked_time: float = 0.0
+        self.jobs_completed: int = 0
+        self.last_start: float = 0.0
+        self._probes: List[Callable] = []
+        #: the in-flight job as one tuple — (duration, tag, cb, label,
+        #: start) — written once per start, read once per finish
+        self._cur: tuple = (0.0, "", None, None, 0.0)
+        self._finish_cb = self._finish
+
+    # --- fast path ---------------------------------------------------------
+
+    def occupy(self, duration: float, tag: str,
+               cb: Optional[Callable[[], None]],
+               label: Optional[str] = None) -> None:
+        """Enqueue one unit of work; ``cb`` runs when it completes."""
+        if self._busy:
+            self._queue.append((duration, tag, cb, label))
+            return
+        if self._queue:
+            # only reachable from inside a completion callback (busy was
+            # cleared but the next entry has not started yet): keep FIFO
+            # order by starting the queue head, as SerialResource does
+            self._queue.append((duration, tag, cb, label))
+            duration, tag, cb, label = self._queue.popleft()
+        self._busy = True
+        now = self.sim.now
+        self._cur = (duration, tag, cb, label, now)
+        # inlined EventQueue.push — completions are the simulation's
+        # hottest schedule site (plan durations are never negative, so
+        # Simulator.after's guard is redundant here)
+        events = self._events
+        seq = events.tie_break
+        events.tie_break = seq + 1
+        heappush(events._heap, (now + duration, seq, self._finish_cb))
+
+    def _start_next(self) -> None:
+        duration, tag, cb, label = self._queue.popleft()
+        self._busy = True
+        now = self.sim.now
+        self._cur = (duration, tag, cb, label, now)
+        events = self._events
+        seq = events.tie_break
+        events.tie_break = seq + 1
+        heappush(events._heap, (now + duration, seq, self._finish_cb))
+
+    def _finish(self) -> None:
+        self._busy = False
+        duration, tag, cb, label, start = self._cur
+        self.last_start = start
+        self.busy_time_by_tag[tag] = (
+            self.busy_time_by_tag.get(tag, 0.0) + duration
+        )
+        self.jobs_completed += 1
+        if self._probes:
+            now = self.sim.now
+            for probe in self._probes:
+                probe(self.name, tag, start, now, label)
+        if cb is not None:
+            cb()
+        if not self._busy and self._queue:
+            self._start_next()
+
+    # --- SerialResource-compatible surface ---------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Adapter for the shared write/GC/erase paths, which enqueue
+        :class:`~repro.ssd.resources.Job` objects."""
+        if job.duration < 0:
+            raise SimulationError(f"negative job duration on {self.name}")
+        if job.on_start is not None or job.can_start is not None:
+            raise SimulationError(
+                f"{self.name}: gated/on_start jobs are not supported by the "
+                "batched core's FIFO resources"
+            )
+        self.occupy(job.duration, job.tag, job.on_complete, job.label)
+
+    def kick(self) -> None:
+        if not self._busy and self._queue:
+            self._start_next()
+
+    def attach_probe(self, probe: Callable) -> None:
+        self._probes.append(probe)
+
+    def finalize(self) -> None:
+        """Nothing to close — an ungated FIFO never blocks."""
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def total_busy_time(self) -> float:
+        return sum(self.busy_time_by_tag.values())
+
+
+class FastChannel:
+    """Flash channel: FIFO (or priority-arbitrated) with decoder gating.
+
+    Mirrors the gated :class:`~repro.ssd.resources.SerialResource` exactly:
+    a *gated* entry (a read transfer bound for the decoder buffer) can only
+    start while its channel's :class:`FastEcc` has a free slot, and
+    reserves that slot at start; while the head (or, arbitrated, every
+    runnable candidate) is gated shut, the channel accumulates blocked time
+    — the paper's ECCWAIT.
+    """
+
+    __slots__ = ("sim", "name", "arbitrated", "busy_time_by_tag",
+                 "blocked_time", "jobs_completed", "last_start", "_ecc",
+                 "_queue", "_busy", "_blocked_since", "_probes",
+                 "_cur", "_finish_cb", "_events")
+
+    def __init__(self, sim, name: str, ecc: "FastEcc",
+                 arbitrated: bool = False):
+        self.sim = sim
+        self._events = sim.events
+        self.name = name
+        self.arbitrated = arbitrated
+        self._ecc = ecc
+        self._queue: deque = deque()
+        self._busy = False
+        self._blocked_since: Optional[float] = None
+        self.busy_time_by_tag: Dict[str, float] = {}
+        self.blocked_time: float = 0.0
+        self.jobs_completed: int = 0
+        self.last_start: float = 0.0
+        self._probes: List[Callable] = []
+        #: in-flight job as one (duration, tag, cb, label, start) tuple
+        self._cur: tuple = (0.0, "", None, None, 0.0)
+        self._finish_cb = self._finish
+
+    # --- fast path ---------------------------------------------------------
+
+    def occupy(self, duration: float, tag: str,
+               cb: Optional[Callable[[], None]],
+               label: Optional[str] = None, gated: bool = False,
+               priority: int = 0) -> None:
+        self._queue.append((gated, priority, duration, tag, cb, label))
+        if not self._busy:
+            self._try_start()
+
+    def _try_start(self) -> None:
+        if self._busy:
+            return
+        queue = self._queue
+        if not queue:
+            if self._blocked_since is not None:
+                self._close_blocked()
+            return
+        if not self.arbitrated:
+            if queue[0][0] and not self._ecc.can_reserve():
+                if self._blocked_since is None:
+                    self._blocked_since = self.sim.now
+                return
+            chosen = 0
+        else:
+            chosen = -1
+            best_priority = 0
+            can_reserve = self._ecc.can_reserve
+            for idx, entry in enumerate(queue):
+                if entry[0] and not can_reserve():
+                    continue
+                if chosen < 0 or entry[1] > best_priority:
+                    chosen = idx
+                    best_priority = entry[1]
+            if chosen < 0:
+                if self._blocked_since is None:
+                    self._blocked_since = self.sim.now
+                return
+        if self._blocked_since is not None:
+            self._close_blocked()
+        if chosen == 0:
+            entry = queue.popleft()
+        else:
+            entry = queue[chosen]
+            del queue[chosen]
+        gated, _priority, duration, tag, cb, label = entry
+        self._busy = True
+        if gated:
+            self._ecc.reserve_slot()
+        now = self.sim.now
+        self._cur = (duration, tag, cb, label, now)
+        # inlined EventQueue.push (see FastFifo.occupy)
+        events = self._events
+        seq = events.tie_break
+        events.tie_break = seq + 1
+        heappush(events._heap, (now + duration, seq, self._finish_cb))
+
+    def _finish(self) -> None:
+        self._busy = False
+        duration, tag, cb, label, start = self._cur
+        self.last_start = start
+        self.busy_time_by_tag[tag] = (
+            self.busy_time_by_tag.get(tag, 0.0) + duration
+        )
+        self.jobs_completed += 1
+        if self._probes:
+            now = self.sim.now
+            for probe in self._probes:
+                probe(self.name, tag, start, now, label)
+        if cb is not None:
+            cb()
+        self._try_start()
+
+    def _close_blocked(self) -> None:
+        start = self._blocked_since
+        now = self.sim.now
+        self.blocked_time += now - start
+        self._blocked_since = None
+        if self._probes and now > start:
+            for probe in self._probes:
+                probe(self.name, "ECCWAIT", start, now, None)
+
+    # --- SerialResource-compatible surface ---------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Adapter for write/GC DMA jobs (never gated, never ``on_start``)."""
+        if job.duration < 0:
+            raise SimulationError(f"negative job duration on {self.name}")
+        if job.on_start is not None or job.can_start is not None:
+            raise SimulationError(
+                f"{self.name}: external gated jobs must go through the "
+                "batched read pipeline"
+            )
+        self.occupy(job.duration, job.tag, job.on_complete, job.label,
+                    gated=False, priority=job.priority)
+
+    def kick(self) -> None:
+        """Re-evaluate the queue (a decoder slot may have freed up)."""
+        if not self._busy:
+            self._try_start()
+
+    def attach_probe(self, probe: Callable) -> None:
+        self._probes.append(probe)
+
+    def finalize(self) -> None:
+        if self._blocked_since is not None:
+            self._close_blocked()
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def total_busy_time(self) -> float:
+        return sum(self.busy_time_by_tag.values())
+
+
+class FastEcc:
+    """Per-channel decoder-buffer slots + serial decode unit.
+
+    Behavioural twin of :class:`~repro.ssd.resources.EccEngine` (same
+    counters, same error messages, same waiter semantics); the decode unit
+    is a :class:`FastFifo` so the pipeline can drive it without ``Job``
+    objects.
+    """
+
+    __slots__ = ("sim", "name", "buffer_pages", "slots_in_use", "held_slots",
+                 "decoder", "_slot_waiters")
+
+    def __init__(self, sim, name: str, buffer_pages: int):
+        if buffer_pages < 1:
+            raise SimulationError("ECC buffer must hold at least one page")
+        self.sim = sim
+        self.name = name
+        self.buffer_pages = buffer_pages
+        self.slots_in_use = 0
+        self.held_slots = 0
+        self.decoder = FastFifo(sim, f"{name}.decoder")
+        self._slot_waiters: List[Callable[[], None]] = []
+
+    def can_reserve(self) -> bool:
+        return self.slots_in_use + self.held_slots < self.buffer_pages
+
+    def reserve_slot(self) -> None:
+        if not self.can_reserve():
+            raise SimulationError(f"{self.name}: buffer overflow")
+        self.slots_in_use += 1
+
+    def hold_slots(self, n: int = 0) -> None:
+        if n < 0:
+            raise SimulationError(f"{self.name}: cannot hold {n} slots")
+        self.held_slots = min(n or self.buffer_pages, self.buffer_pages)
+
+    def release_held_slots(self) -> None:
+        if self.held_slots == 0:
+            return
+        self.held_slots = 0
+        for waiter in self._slot_waiters:
+            waiter()
+
+    def release_slot(self) -> None:
+        if self.slots_in_use <= 0:
+            raise SimulationError(f"{self.name}: slot underflow")
+        self.slots_in_use -= 1
+        for waiter in self._slot_waiters:
+            waiter()
+
+    def subscribe_on_release(self, callback: Callable[[], None]) -> None:
+        self._slot_waiters.append(callback)
+
+    def submit_decode(self, duration: float, tag: str,
+                      on_complete: Callable[[], None],
+                      label: Optional[str] = None) -> None:
+        """EccEngine-compatible decode entry (slot released, then
+        ``on_complete``); the pipeline itself drives ``decoder.occupy``
+        directly with the release folded into its own handler."""
+
+        def finish() -> None:
+            self.release_slot()
+            on_complete()
+
+        self.decoder.occupy(duration, tag, finish, label)
+
+
+class ReadPipeline:
+    """Explicit per-phase state machine over structure-of-arrays slots.
+
+    Every in-flight page read owns a *slot* — an index into a set of
+    parallel arrays (phase tuples, cursor, owning resources, fault state,
+    trace fields).  Slot transitions are persistent ``partial`` callbacks
+    created once per slot, so steady-state execution allocates nothing per
+    phase.  Slots are pooled through a free list and reused.
+
+    The phase walk per slot::
+
+        [fault sense retries]* -> phase[0] -> phase[1] -> ... -> host link
+                                   |            |
+                                 SENSE       TRANSFER ---(decode_us)---> decode
+                                (plane)      (channel, slot-gated)       (ecc)
+
+    mirroring the scalar ``_execute_plan`` closure chain state for state.
+    """
+
+    def __init__(self, ssd):
+        self.ssd = ssd
+        self.sim = ssd.sim
+        self.metrics = ssd.metrics
+        self.policy = ssd.policy
+        self.sampler = ssd.sampler
+        self.ftl = ssd.ftl
+        self.mapper = ssd.mapper
+        timings = ssd.config.timings
+        self.t_read = timings.t_read
+        self._t_dma = timings.t_dma
+        self._t_prog = timings.t_prog
+        self._t_erase = timings.t_erase
+        self._host_page_us = ssd._host_page_us
+        # bound hot-path references (one attribute hop instead of two)
+        self._planes = ssd.planes
+        self._channels = ssd.channels
+        self._eccs = ssd.eccs
+        self._host_link = ssd.host_link
+        self._plane_index_of = ssd.mapper.plane_index_of
+        self._account_plan = ssd._account_plan
+        self.attach_tracer(ssd.tracer)
+        #: reads that mutate shared state mid-batch (fault mitigation,
+        #: read-disturb relocation) must resolve strictly one at a time
+        self._sequential = (ssd.fault_injector is not None
+                            or ssd.read_disturb_threshold is not None)
+        self._build = PlanBuild()
+        # ppn -> (block_key, page, plane, channel, ecc, read_key):
+        # everything the
+        # dispatch needs, pure in ppn (geometry and wiring never change),
+        # so the clean hot loop skips the PageAddress/ReadTarget hops
+        self._routes: dict = {}
+        # --- structure-of-arrays slot storage ---
+        self._free: List[int] = []
+        self._phases: List[List[tuple]] = []   # flat (kind, dur, tag, dec)
+        self._cursor: List[int] = []           # next phase to dispatch
+        self._state: List[object] = []         # owning _RequestState
+        self._plane: List[object] = []
+        self._channel: List[object] = []
+        self._ecc: List[object] = []
+        self._exhausted: List[Optional[ReproError]] = []
+        self._fired: List[Optional[int]] = []  # injected faults, None=clean
+        self._label: List[Optional[str]] = []
+        self._rid: List[int] = []
+        self._traced: List[bool] = []
+        self._decode_start: List[float] = []
+        self._fault_round: List[int] = []
+        self._fault_failures: List[int] = []
+        self._gc_in: List[object] = []         # GC copy: inbound channel
+        self._gc_dst: List[object] = []        # GC copy: destination plane
+        # persistent per-slot transition callbacks
+        self._sense_cb: List[Callable] = []
+        self._xfer_cb: List[Callable] = []
+        self._xferdec_cb: List[Callable] = []
+        self._s2x_cb: List[Callable] = []
+        self._decode_cb: List[Callable] = []
+        self._host_cb: List[Callable] = []
+        self._fault_cb: List[Callable] = []
+        self._fault_retry_cb: List[Callable] = []
+        self._advance_cb: List[Callable] = []
+        self._whost_cb: List[Callable] = []
+        self._wdma_cb: List[Callable] = []
+        self._gc_sense_cb: List[Callable] = []
+        self._gc_out_cb: List[Callable] = []
+        self._gc_in_cb: List[Callable] = []
+
+    def attach_tracer(self, tracer) -> None:
+        """(Re)bind trace wiring — called from the simulator's ``tracer``
+        setter so post-construction attachment (profiling tooling) works."""
+        self.tracer = tracer
+        #: labels feed trace spans and resource probes; skip building the
+        #: per-read string entirely on untraced runs
+        self._want_label = tracer is not None
+        self._trace_requests = (tracer is not None
+                                and tracer.config.trace_requests)
+
+    # --- slot pool ---------------------------------------------------------
+
+    def _grow(self) -> int:
+        """Append one fresh slot (callers pop ``_free`` first)."""
+        i = len(self._cursor)
+        self._phases.append([])
+        self._cursor.append(0)
+        self._state.append(None)
+        self._plane.append(None)
+        self._channel.append(None)
+        self._ecc.append(None)
+        self._exhausted.append(None)
+        self._fired.append(None)
+        self._label.append(None)
+        self._rid.append(0)
+        self._traced.append(False)
+        self._decode_start.append(0.0)
+        self._fault_round.append(0)
+        self._fault_failures.append(0)
+        self._gc_in.append(None)
+        self._gc_dst.append(None)
+        self._sense_cb.append(partial(self._sense_done, i))
+        self._xfer_cb.append(partial(self._xfer_done, i))
+        self._xferdec_cb.append(partial(self._xferdec_done, i))
+        self._s2x_cb.append(partial(self._sense2x_done, i))
+        self._decode_cb.append(partial(self._decode_done, i))
+        self._host_cb.append(partial(self._host_done, i))
+        self._fault_cb.append(partial(self._fault_sense_done, i))
+        self._fault_retry_cb.append(partial(self._fault_retry, i))
+        self._advance_cb.append(partial(self._advance, i))
+        self._whost_cb.append(partial(self._write_host_done, i))
+        self._wdma_cb.append(partial(self._write_dma_done, i))
+        self._gc_sense_cb.append(partial(self._gc_sense_done, i))
+        self._gc_out_cb.append(partial(self._gc_out_done, i))
+        self._gc_in_cb.append(partial(self._gc_in_done, i))
+        return i
+
+    def _release(self, i: int) -> None:
+        del self._phases[i][:]
+        self._state[i] = None
+        self._plane[i] = None
+        self._channel[i] = None
+        self._ecc[i] = None
+        self._exhausted[i] = None
+        self._fired[i] = None
+        self._label[i] = None
+        self._free.append(i)
+
+    # --- request entry -----------------------------------------------------
+
+    def start_reads(self, lpns: List[int], state) -> None:
+        """Resolve, sample, compile and dispatch all pages of one request.
+
+        The clean path batches the FTL resolution and reliability sampling
+        across the whole request before compiling plans (the batch entry
+        points are bit-identical to per-read calls and the FTL mutations
+        commute across a batch with no active fault plan or disturb
+        management); otherwise each page runs the full sequential sequence
+        of the scalar core.
+        """
+        if self._sequential:
+            for lpn in lpns:
+                self._start_read_sequential(lpn, state)
+            return
+        resolve = self.ftl.resolve_fast
+        block_reads = self.ftl._block_reads
+        sampler = self.sampler
+        routes = self._routes
+        route_of = self._route
+        now = self.sim.now
+        if len(lpns) < _VEC_MIN:
+            # Typical requests span a handful of pages — below the
+            # vectorization threshold the batch pass only builds garbage.
+            # The interleaved loop is bit-identical: sampling is pure
+            # (deterministic hashes, no rng draws) and dispatch never
+            # touches FTL or sampler state.
+            dispatch = self._dispatch_clean
+            cold_age = sampler.cold_age_days
+            warm_age = sampler.warm_age_days
+            rber_of = sampler.rber
+            for lpn in lpns:
+                ppn, written = resolve(lpn)
+                if written is None:
+                    retention = cold_age(lpn)
+                else:
+                    retention = warm_age(written, now)
+                route = routes.get(ppn)
+                if route is None:
+                    route = route_of(ppn)
+                key = route[5]
+                reads = block_reads.get(key, 0) + 1
+                block_reads[key] = reads
+                rber = rber_of(route[0], route[1], retention, reads)
+                dispatch(lpn, route, rber, state)
+            return
+        resolved = [resolve(lpn) for lpn in lpns]
+        cold = [i for i, r in enumerate(resolved) if r[1] is None]
+        retentions: List[float] = [0.0] * len(resolved)
+        if cold:
+            ages = sampler.cold_age_days_batch([lpns[i] for i in cold])
+            for i, age in zip(cold, ages):
+                retentions[i] = age
+        warm_age = sampler.warm_age_days
+        for i, (_ppn, written) in enumerate(resolved):
+            if written is not None:
+                retentions[i] = warm_age(written, now)
+        page_routes = [routes.get(ppn) or route_of(ppn)
+                       for ppn, _written in resolved]
+        read_counts: List[int] = []
+        for route in page_routes:
+            key = route[5]
+            reads = block_reads.get(key, 0) + 1
+            block_reads[key] = reads
+            read_counts.append(reads)
+        rbers = sampler.rber_batch(
+            [route[0] for route in page_routes],
+            [route[1] for route in page_routes],
+            retentions,
+            read_counts,
+        )
+        dispatch = self._dispatch_clean
+        for lpn, route, rber in zip(lpns, page_routes, rbers):
+            dispatch(lpn, route, rber, state)
+
+    def _start_read_sequential(self, lpn: int, state) -> None:
+        """One page, scalar-core order: resolve -> inject -> sample ->
+        compile -> dispatch -> disturb management."""
+        ssd = self.ssd
+        target = ssd.ftl.read(lpn)
+        faults = None
+        if ssd.fault_injector is not None:
+            faults = ssd.fault_injector.on_page_read(target.address,
+                                                     self.sim.now)
+            if faults.any:
+                self.metrics.faults_injected += faults.fired
+                target = ssd._mitigate_read_faults(lpn, target, faults, state)
+                if target is None:
+                    return  # degraded: the page was completed (or raised)
+            else:
+                faults = None
+        sampler = self.sampler
+        if target.cold:
+            retention = sampler.cold_age_days(lpn)
+        else:
+            retention = sampler.warm_age_days(target.written_at_us,
+                                              self.sim.now)
+        rber = sampler.rber(target.address.block_key(), target.address.page,
+                            retention, target.block_read_count)
+        self._compile_and_dispatch(lpn, target, rber, state, faults)
+        if (ssd.read_disturb_threshold is not None
+                and target.block_read_count >= ssd.read_disturb_threshold):
+            ssd._relocate_disturbed_block(target.address)
+
+    # --- compile + dispatch -------------------------------------------------
+
+    def _route(self, ppn: int) -> tuple:
+        """Resolve and memoize the dispatch route of one physical page:
+        ``(block_key, page, plane, channel, ecc, read_key)`` — all pure in
+        ppn.  ``read_key`` is the FTL's ``(plane_index, block)``
+        read-counter key (the same integers the scalar path derives in
+        :meth:`~repro.ssd.ftl.PageMapFtl.read`)."""
+        addr = self.mapper.address(ppn)
+        channel = addr.channel
+        pidx = self._plane_index_of(addr)
+        route = (addr.block_key(), addr.page,
+                 self._planes[pidx],
+                 self._channels[channel], self._eccs[channel],
+                 (pidx, addr.block))
+        routes = self._routes
+        if len(routes) >= 1 << 20:  # same bound policy as the memo caches
+            routes.clear()
+        routes[ppn] = route
+        return route
+
+    def _dispatch_clean(self, lpn: int, route: tuple, rber: float,
+                        state) -> None:
+        """Fault-free twin of :meth:`_compile_and_dispatch` fed by a
+        memoized route instead of a :class:`ReadTarget`.
+
+        ``_exhausted``/``_fired`` are left untouched: only the fault path
+        sets them, and :meth:`_release` restores ``None``.
+        """
+        build = self._build
+        build.reset(rber)
+        self.policy.plan_into(build, rber)
+        self._account_plan(build)
+        if self._trace_requests and state.traced:
+            self.tracer.record_instant(
+                "read.plan", self.sim.now, request_id=state.request_id,
+                args=dict(build.trace_args(), lpn=lpn),
+            )
+        free = self._free
+        i = free.pop() if free else self._grow()
+        slot_phases = self._phases[i]
+        slot_phases.extend(build.phases)
+        self._state[i] = state
+        self._plane[i] = route[2]
+        self._ecc[i] = route[4]
+        self._rid[i] = state.request_id
+        self._traced[i] = state.traced
+        if self._want_label:
+            self._label[i] = label = f"R:lpn{lpn}"
+        else:
+            label = None
+        self._channel[i] = route[3]
+        if (len(slot_phases) == 2 and slot_phases[1][3] is not None
+                and slot_phases[0][0] == K_SENSE):
+            # the no-retry shape every policy's clean round compiles to:
+            # sense, then one gated transfer+decode — drive it with a
+            # single fused transition instead of the cursor machinery
+            # (identical call order, so identical tie-breaks and times)
+            self._cursor[i] = 2
+            route[2].occupy(slot_phases[0][1], "SENSE", self._s2x_cb[i],
+                            label)
+            return
+        self._cursor[i] = 0
+        self._advance(i)
+
+    def _sense2x_done(self, i: int) -> None:
+        """Fused sense-completion of the two-phase fast path: record the
+        span (traced runs) and start the gated transfer directly."""
+        if self._traced[i]:
+            plane = self._plane[i]
+            self.tracer.record(self._label[i], plane.name, plane.last_start,
+                               self.sim.now, "SENSE", kind="sense",
+                               request_id=self._rid[i])
+        phase = self._phases[i][1]
+        self._channel[i].occupy(phase[1], phase[2], self._xferdec_cb[i],
+                                self._label[i], gated=True, priority=1)
+
+    def _compile_and_dispatch(self, lpn: int, target, rber: float, state,
+                              faults) -> None:
+        build = self._build
+        build.reset(rber)
+        self.policy.plan_into(build, rber)
+        self._account_plan(build)
+        if self._trace_requests and state.traced:
+            self.tracer.record_instant(
+                "read.plan", self.sim.now, request_id=state.request_id,
+                args=dict(build.trace_args(), lpn=lpn),
+            )
+        phases = build.phases
+        exhausted: Optional[ReproError] = None
+        if faults is not None:
+            phases, exhausted = self._apply_transfer_faults(phases, faults)
+            scale = faults.latency_scale
+            if scale > 1.0:
+                phases = [(kind, duration * scale, tag, decode)
+                          if kind == K_SENSE else (kind, duration, tag, decode)
+                          for kind, duration, tag, decode in phases]
+        free = self._free
+        i = free.pop() if free else self._grow()
+        slot_phases = self._phases[i]
+        slot_phases.extend(phases)
+        self._cursor[i] = 0
+        self._state[i] = state
+        address = target.address
+        channel = address.channel
+        self._plane[i] = self._planes[self._plane_index_of(address)]
+        self._channel[i] = self._channels[channel]
+        self._ecc[i] = self._eccs[channel]
+        self._exhausted[i] = exhausted
+        self._fired[i] = faults.fired if faults is not None else None
+        self._label[i] = f"R:lpn{lpn}" if self._want_label else None
+        self._rid[i] = state.request_id
+        self._traced[i] = state.traced
+        if faults is not None and faults.sense_failures:
+            self._fault_round[i] = 0
+            self._fault_failures[i] = faults.sense_failures
+            self._plane[i].occupy(self.t_read, "FAULT", self._fault_cb[i],
+                                  self._label[i])
+        else:
+            self._advance(i)
+
+    def _apply_transfer_faults(self, phases: List[tuple], faults):
+        """Tuple-encoded twin of the scalar ``_apply_transfer_faults``."""
+        if not faults.corrupt_transfers:
+            return phases, None
+        ssd = self.ssd
+        budget = ssd.fault_plan.max_retries
+        plays = min(faults.corrupt_transfers, budget + 1)
+        for i, (kind, duration, _tag, decode_us) in enumerate(phases):
+            if kind == K_TRANSFER and decode_us is not None:
+                corrupt = (K_TRANSFER, duration, TAG_UNCOR,
+                           ssd.config.ecc.t_ecc_max)
+                self.metrics.fault_retries += plays
+                self.metrics.uncorrectable_transfers += plays
+                if faults.corrupt_transfers > budget:
+                    return list(phases[:i]) + [corrupt] * plays, \
+                        RetryExhaustedError(
+                            f"transfer still corrupt after {budget} "
+                            "re-transfers"
+                        )
+                return (list(phases[:i]) + [corrupt] * plays
+                        + list(phases[i:])), None
+        return phases, None  # plan has no decoder-bound transfer to corrupt
+
+    # --- state-machine transitions -----------------------------------------
+
+    def _advance(self, i: int) -> None:
+        """Dispatch the phase under the cursor (or finish the read)."""
+        phases = self._phases[i]
+        cursor = self._cursor[i]
+        if cursor >= len(phases):
+            self._finish_read(i)
+            return
+        self._cursor[i] = cursor + 1
+        kind, duration, tag, decode_us = phases[cursor]
+        traced = self._traced[i]
+        if kind == K_SENSE:
+            # untraced completions skip the span-recording handler frame
+            # and re-enter _advance directly
+            self._plane[i].occupy(
+                duration, "SENSE",
+                self._sense_cb[i] if traced else self._advance_cb[i],
+                self._label[i])
+        elif decode_us is None:
+            self._channel[i].occupy(
+                duration, tag,
+                self._xfer_cb[i] if traced else self._advance_cb[i],
+                self._label[i], gated=False, priority=1)
+        else:
+            self._channel[i].occupy(duration, tag, self._xferdec_cb[i],
+                                    self._label[i], gated=True, priority=1)
+
+    def _sense_done(self, i: int) -> None:
+        if self._traced[i]:
+            plane = self._plane[i]
+            self.tracer.record(self._label[i], plane.name, plane.last_start,
+                               self.sim.now, "SENSE", kind="sense",
+                               request_id=self._rid[i])
+        self._advance(i)
+
+    def _xfer_done(self, i: int) -> None:
+        if self._traced[i]:
+            channel = self._channel[i]
+            tag = self._phases[i][self._cursor[i] - 1][2]
+            self.tracer.record(self._label[i], channel.name,
+                               channel.last_start, self.sim.now, tag,
+                               kind="transfer", request_id=self._rid[i])
+        self._advance(i)
+
+    def _xferdec_done(self, i: int) -> None:
+        phase = self._phases[i][self._cursor[i] - 1]
+        if self._traced[i]:
+            channel = self._channel[i]
+            self.tracer.record(self._label[i], channel.name,
+                               channel.last_start, self.sim.now, phase[2],
+                               kind="transfer", request_id=self._rid[i])
+        self._decode_start[i] = self.sim.now
+        self._ecc[i].decoder.occupy(phase[3], phase[2], self._decode_cb[i],
+                                    self._label[i])
+
+    def _decode_done(self, i: int) -> None:
+        ecc = self._ecc[i]
+        # release before recording/advancing: the freed slot kicks the gated
+        # channel, so a blocked transfer starts ahead of this read's next
+        # event — the scalar EccEngine.submit_decode order
+        ecc.release_slot()
+        if self._traced[i]:
+            phase = self._phases[i][self._cursor[i] - 1]
+            self.tracer.record(self._label[i], ecc.name,
+                               self._decode_start[i], self.sim.now, phase[2],
+                               kind="decode", request_id=self._rid[i])
+        self._advance(i)
+
+    def _finish_read(self, i: int) -> None:
+        exhausted = self._exhausted[i]
+        if exhausted is not None:
+            state = self._state[i]
+            self._release(i)
+            self.ssd._degraded_read(state, exhausted)
+            return
+        fired = self._fired[i]
+        if fired is not None:
+            self.metrics.faults_absorbed += fired
+        self._host_link.occupy(self._host_page_us, "READ",
+                               self._host_cb[i], None)
+
+    def _host_done(self, i: int) -> None:
+        state = self._state[i]
+        self._release(i)
+        self.ssd._page_done(state)
+
+    # --- write lane (mirrors _start_page_write / _start_gc_copy) ------------
+
+    def start_write(self, lpn: int, state) -> None:
+        """One page write through the allocation-free slot machinery.
+
+        Same causal chain as the scalar core's Job closures — GC copies
+        and erases first (FTL order), then host-link transfer -> channel
+        DMA -> plane program — so submission order on every shared
+        resource, and with it every timestamp, is bit-identical.
+        """
+        result = self.ftl.write(lpn, self.sim.now)
+        self.metrics.page_writes += 1
+        for copy in result.gc_copies:
+            self._start_gc_copy(copy.source, copy.destination)
+        self.metrics.gc_page_copies += len(result.gc_copies)
+        t_erase = self._t_erase
+        for pidx, _block in result.erased_blocks:
+            self._planes[pidx].occupy(t_erase, "ERASE", None)
+        address = result.address
+        free = self._free
+        i = free.pop() if free else self._grow()
+        self._state[i] = state
+        self._plane[i] = self._planes[self._plane_index_of(address)]
+        self._channel[i] = self._channels[address.channel]
+        self._host_link.occupy(self._host_page_us, "WRITE",
+                               self._whost_cb[i], None)
+
+    def _write_host_done(self, i: int) -> None:
+        self._channel[i].occupy(self._t_dma, TAG_WRITE, self._wdma_cb[i])
+
+    def _write_dma_done(self, i: int) -> None:
+        # program completion is release-then-_page_done: exactly _host_done
+        self._plane[i].occupy(self._t_prog, TAG_WRITE, self._host_cb[i])
+
+    def _start_gc_copy(self, src, dst) -> None:
+        """Internal relocation: sense, move out, move back, program."""
+        free = self._free
+        i = free.pop() if free else self._grow()
+        self._channel[i] = self._channels[src.channel]
+        self._gc_in[i] = self._channels[dst.channel]
+        self._gc_dst[i] = self._planes[self._plane_index_of(dst)]
+        self._planes[self._plane_index_of(src)].occupy(
+            self.t_read, TAG_GC, self._gc_sense_cb[i])
+
+    def _gc_sense_done(self, i: int) -> None:
+        self._channel[i].occupy(self._t_dma, TAG_GC, self._gc_out_cb[i])
+
+    def _gc_out_done(self, i: int) -> None:
+        self._gc_in[i].occupy(self._t_dma, TAG_GC, self._gc_in_cb[i])
+
+    def _gc_in_done(self, i: int) -> None:
+        self._gc_dst[i].occupy(self._t_prog, TAG_GC, None)
+        self._gc_in[i] = None
+        self._gc_dst[i] = None
+        self._release(i)
+
+    # --- transient sense faults (mirrors _run_sense_retries) ----------------
+
+    def _fault_sense_done(self, i: int) -> None:
+        ssd = self.ssd
+        if self._traced[i]:
+            plane = self._plane[i]
+            self.tracer.record(self._label[i], plane.name, plane.last_start,
+                               self.sim.now, "FAULT", kind="fault",
+                               request_id=self._rid[i])
+        fault_plan = ssd.fault_plan
+        nxt = self._fault_round[i] + 1
+        backoff = fault_plan.retry_backoff_us * nxt
+        if nxt > fault_plan.max_retries:
+            state = self._state[i]
+            self._release(i)
+            ssd._degraded_read(state, RetryExhaustedError(
+                f"sense still failing after "
+                f"{fault_plan.max_retries} retries"
+            ))
+            return
+        self.metrics.fault_retries += 1
+        if nxt >= self._fault_failures[i]:
+            # the re-issued sense succeeds: it is the plan's own first SENSE
+            self.sim.after(backoff, self._advance_cb[i])
+        else:
+            self._fault_round[i] = nxt
+            self.sim.after(backoff, self._fault_retry_cb[i])
+
+    def _fault_retry(self, i: int) -> None:
+        self._plane[i].occupy(self.t_read, "FAULT", self._fault_cb[i],
+                              self._label[i])

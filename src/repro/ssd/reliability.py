@@ -16,16 +16,23 @@ Responsibilities:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..config import EccConfig, ReliabilityConfig
 from ..errors import ConfigError
 from ..nand.rber import PageState, RberModel
 from ..nand.thermal import ThermalModel
-from ..nand.variation import _hash_to_unit
+from ..nand.variation import _hash_to_unit, hash_to_unit_batch
 from ..perf import cache as _perf_cache
 from ..perf.cache import MemoCache
 from ..units import US_PER_DAY
+
+#: Below this batch size the numpy fixed overhead outweighs the per-lane
+#: win; the batch entry points fall back to the scalar loop (results are
+#: bit-identical either way, so the threshold is pure tuning).
+_VEC_MIN = 24
 
 
 class PageReliabilitySampler:
@@ -77,18 +84,48 @@ class PageReliabilitySampler:
 
     def cold_age_days(self, lpn: int) -> float:
         """Initial retention age of a pre-existing logical page: uniform in
-        [0, refresh_days), deterministic in (seed, lpn)."""
-        age = self._cold_age_table.get(lpn) if _perf_cache._ENABLED else None
-        if age is None:
-            return self._cold_age_cache.get_or_compute(
-                lpn, lambda: self._cold_age_days_uncached(lpn)
-            )
-        self._cold_age_cache.hits += 1
-        return age
+        [0, refresh_days), deterministic in (seed, lpn).
+
+        Miss path hand-inlined with :meth:`MemoCache.get_or_compute`'s
+        exact counter discipline (first touch of every cold page lands
+        here)."""
+        cache = self._cold_age_cache
+        if _perf_cache._ENABLED:
+            table = self._cold_age_table
+            age = table.get(lpn)
+            if age is not None:
+                cache.hits += 1
+                return age
+            cache.misses += 1
+            age = self._cold_age_days_uncached(lpn)
+            if len(table) >= cache.max_entries:
+                table.clear()
+                cache.evictions += 1
+            table[lpn] = age
+            return age
+        return cache.get_or_compute(
+            lpn, lambda: self._cold_age_days_uncached(lpn)
+        )
 
     def _cold_age_days_uncached(self, lpn: int) -> float:
         u = _hash_to_unit(self.seed, 0xC01D, int(lpn))
         return u * self.reliability.refresh_days
+
+    def cold_age_days_batch(self, lpns: Sequence[int]) -> List[float]:
+        """Cold ages for a whole batch of pages, vectorized and bit-exact.
+
+        The SplitMix64 hash runs as one uint64 array pass
+        (:func:`~repro.nand.variation.hash_to_unit_batch`); because every
+        lane equals the scalar hash, the results may seed the memo table
+        for later scalar queries.  Small batches use the scalar path.
+        """
+        if len(lpns) < _VEC_MIN:
+            return [self.cold_age_days(lpn) for lpn in lpns]
+        us = hash_to_unit_batch(self.seed, 0xC01D,
+                                np.asarray(lpns, dtype=np.uint64))
+        ages = (us * self.reliability.refresh_days).tolist()
+        self._cold_age_cache.seed_many(zip(lpns, ages))
+        return ages
 
     def warm_age_days(self, written_at_us: float, now_us: float) -> float:
         """Retention age of a page written during the simulation."""
@@ -115,24 +152,96 @@ class PageReliabilitySampler:
         """
         if read_count < 0:
             raise ConfigError("read_count must be non-negative")
-        key = (block_key, page, retention_days)
-        base = self._page_base_table.get(key) if _perf_cache._ENABLED else None
-        if base is None:
-            base = self._page_base_cache.get_or_compute(
-                key,
-                lambda: self.model.page_rber(
-                    PageState(
-                        pe_cycles=self.pe_cycles,
-                        retention_days=retention_days * self.thermal_acceleration,
-                        read_count=0,
-                    ),
-                    block_key,
-                    page,
-                ),
-            )
-        else:
-            self._page_base_cache.hits += 1
+        base = self._page_base(block_key, page, retention_days)
         return min(base + self._disturb_per_read * read_count, 0.5)
+
+    def rber_batch(
+        self,
+        block_keys: Sequence[Tuple[int, ...]],
+        pages: Sequence[int],
+        retention_days: Sequence[float],
+        read_counts: Sequence[int],
+    ) -> List[float]:
+        """RBERs for a whole batch of reads, element-wise equal to
+        :meth:`rber`.
+
+        The transcendental retention base goes through the same memoized
+        scalar path as the scalar query (libm and numpy transcendentals
+        differ in the last ulp, so vectorizing them would break
+        bit-identity); the disturb term and the 0.5 ceiling — plain
+        multiply/add/min — are applied as one vectorized pass.
+        """
+        n = len(block_keys)
+        if n < _VEC_MIN:
+            return [self.rber(bk, pg, rd, rc)
+                    for bk, pg, rd, rc in zip(block_keys, pages,
+                                              retention_days, read_counts)]
+        bases = [self._page_base(bk, pg, rd)
+                 for bk, pg, rd in zip(block_keys, pages, retention_days)]
+        rbers = np.minimum(
+            np.asarray(bases, dtype=np.float64)
+            + self._disturb_per_read * np.asarray(read_counts,
+                                                  dtype=np.float64),
+            0.5,
+        )
+        return rbers.tolist()
+
+    def _page_base(self, block_key: Tuple[int, ...], page: int,
+                   retention_days: float) -> float:
+        """The memoized read-count-free base of :meth:`rber`.
+
+        Miss path hand-inlined with :meth:`MemoCache.get_or_compute`'s
+        exact counter discipline — page ages advance with simulated time,
+        so warm re-reads miss often enough that the lambda + double lookup
+        of the generic path showed up in profiles."""
+        key = (block_key, page, retention_days)
+        cache = self._page_base_cache
+        if _perf_cache._ENABLED:
+            table = self._page_base_table
+            base = table.get(key)
+            if base is not None:
+                cache.hits += 1
+                return base
+            cache.misses += 1
+            # Flattened miss path (perf layer only; the caches-disabled
+            # reference keeps the full object chain below).  Equivalent to
+            # ``model.page_rber(PageState(pe, ret, 0), bk, pg)`` step for
+            # step: same variation factor, same retention-base memo key and
+            # compute, and the read-disturb term is exactly ``per_read*0``,
+            # so ``base + 0.0`` and the 0.5 ceiling reduce to ``min(base,
+            # 0.5)`` bit for bit (the base is strictly positive).
+            model = self.model
+            ret = retention_days * self.thermal_acceleration
+            factor = model._page_variation(block_key, page)
+            bcache = model._base_cache
+            btable = bcache._table
+            bkey = (self.pe_cycles, ret, factor)
+            rb = btable.get(bkey)
+            if rb is None:
+                bcache.misses += 1
+                rb = model._retention_base(self.pe_cycles, ret, factor)
+                if len(btable) >= bcache.max_entries:
+                    btable.clear()
+                    bcache.evictions += 1
+                btable[bkey] = rb
+            else:
+                bcache.hits += 1
+            base = min(rb, 0.5)
+            if len(table) >= cache.max_entries:
+                table.clear()
+                cache.evictions += 1
+            table[key] = base
+            return base
+        cache.misses += 1
+        return self.model.page_rber(
+            PageState(
+                pe_cycles=self.pe_cycles,
+                retention_days=retention_days * self.thermal_acceleration,
+                read_count=0,
+            ),
+            block_key,
+            page,
+        )
 
     def exceeds_capability(self, rber: float) -> bool:
         """Whether a conventional read at this RBER enters read-retry."""

@@ -56,6 +56,55 @@ class PhaseKind(enum.Enum):
     TRANSFER = "transfer"  # channel busy; optionally followed by a decode
 
 
+#: Integer phase kinds of the flat tuple encoding used while *building* a
+#: plan (see :class:`PlanBuild`): each phase is ``(kind, duration, tag,
+#: decode_us)``.  The batched read pipeline executes these tuples directly;
+#: the scalar reference path converts them to :class:`Phase` objects.
+K_SENSE = 0
+K_TRANSFER = 1
+
+
+class PlanBuild:
+    """Mutable, reusable accumulator a policy's :meth:`plan_into` fills.
+
+    Structure-of-arrays friendly: phases are flat ``(kind, duration, tag,
+    decode_us)`` tuples, and the object is reset and reused per read by the
+    batched pipeline, so compiling a plan allocates (almost) nothing.  The
+    fields mirror :class:`ReadPlan` one for one.
+    """
+
+    __slots__ = ("phases", "rber", "senses", "retried", "in_die_retry",
+                 "rp_predicted_retry", "uncorrectable_transfers")
+
+    def __init__(self):
+        self.phases: List[tuple] = []
+        self.reset(0.0)
+
+    def reset(self, rber: float) -> None:
+        del self.phases[:]
+        self.rber = rber
+        self.senses = 0
+        self.retried = False
+        self.in_die_retry = False
+        self.rp_predicted_retry: Optional[bool] = None
+        self.uncorrectable_transfers = 0
+
+    def trace_args(self) -> dict:
+        """Same summary as :meth:`ReadPlan.trace_args` (the batched path
+        emits ``read.plan`` instants straight from the build)."""
+        args = {
+            "rber": self.rber,
+            "senses": self.senses,
+            "phases": len(self.phases),
+            "retried": self.retried,
+            "in_die_retry": self.in_die_retry,
+            "uncorrectable_transfers": self.uncorrectable_transfers,
+        }
+        if self.rp_predicted_retry is not None:
+            args["rp_predicted_retry"] = self.rp_predicted_retry
+        return args
+
+
 @dataclass(frozen=True, slots=True)
 class Phase:
     """One step of a read plan.
@@ -129,58 +178,81 @@ class ReadRetryPolicy:
 
     # --- the one required hook ---------------------------------------------------
 
-    def plan_read(self, rber: float) -> ReadPlan:
+    def plan_into(self, b: PlanBuild, rber: float) -> None:
+        """Sample outcomes and fill ``b`` with flat phase tuples.
+
+        This is the single source of policy logic; the scalar and batched
+        cores both compile plans through it, so the RNG draw order is the
+        same by construction.
+        """
         raise NotImplementedError
+
+    def plan_read(self, rber: float) -> ReadPlan:
+        """Compile one read into a :class:`ReadPlan` (scalar reference
+        path; the batched pipeline consumes :meth:`plan_into` directly)."""
+        b = PlanBuild()
+        b.reset(rber)
+        self.plan_into(b, rber)
+        phases = [
+            Phase(PhaseKind.SENSE if kind == K_SENSE else PhaseKind.TRANSFER,
+                  duration, tag, decode_us)
+            for kind, duration, tag, decode_us in b.phases
+        ]
+        return ReadPlan(
+            phases=phases,
+            rber=rber,
+            retried=b.retried,
+            in_die_retry=b.in_die_retry,
+            rp_predicted_retry=b.rp_predicted_retry,
+            uncorrectable_transfers=b.uncorrectable_transfers,
+            senses=b.senses,
+        )
 
     # --- shared plan fragments -----------------------------------------------------
 
-    def _round(self, plan: ReadPlan, sense_us: float, senses: int,
+    def _round(self, b: PlanBuild, sense_us: float, senses: int,
                success: bool, t_ecc: float) -> None:
         """Append one sense+transfer+decode round."""
         tag = TAG_COR if success else TAG_UNCOR
-        plan.phases.append(Phase(PhaseKind.SENSE, sense_us))
-        plan.phases.append(
-            Phase(PhaseKind.TRANSFER, self.timings.t_dma, tag, decode_us=t_ecc)
-        )
-        plan.senses += senses
+        b.phases.append((K_SENSE, sense_us, TAG_COR, None))
+        b.phases.append((K_TRANSFER, self.timings.t_dma, tag, t_ecc))
+        b.senses += senses
         if not success:
-            plan.uncorrectable_transfers += 1
+            b.uncorrectable_transfers += 1
 
     #: Senses combined by the last-resort soft-decision recovery.
     SOFT_RECOVERY_READS = 5
 
-    def _soft_recovery_round(self, plan: ReadPlan) -> None:
+    def _soft_recovery_round(self, b: PlanBuild) -> None:
         """Last-resort recovery after the retry budget: K staggered-VREF
         senses combined into soft LLRs decode far beyond the hard-decision
         capability (:mod:`repro.ldpc.soft`), at the price of K page reads
         and a long soft decode — how real SSDs avoid declaring data loss."""
         t = self.timings
-        plan.retried = True
-        plan.phases.append(
-            Phase(PhaseKind.SENSE, t.t_read * self.SOFT_RECOVERY_READS)
+        b.retried = True
+        b.phases.append(
+            (K_SENSE, t.t_read * self.SOFT_RECOVERY_READS, TAG_COR, None)
         )
-        plan.phases.append(
-            Phase(
-                PhaseKind.TRANSFER,
-                t.t_dma * 2,  # soft data is wider than one hard page
-                TAG_COR,
-                decode_us=2.0 * self.model.ecc.t_ecc_max,
-            )
-        )
-        plan.senses += self.SOFT_RECOVERY_READS
+        b.phases.append((
+            K_TRANSFER,
+            t.t_dma * 2,  # soft data is wider than one hard page
+            TAG_COR,
+            2.0 * self.model.ecc.t_ecc_max,
+        ))
+        b.senses += self.SOFT_RECOVERY_READS
 
-    def _reactive_swift_rounds(self, plan: ReadPlan, rber: float) -> None:
+    def _reactive_swift_rounds(self, b: PlanBuild, rber: float) -> None:
         """Voltage-adjusted re-reads via the Swift-Read command, repeated
         until the decode succeeds (bounded); falls back to soft-decision
         recovery if the budget is exhausted."""
         t = self.timings
         for _ in range(MAX_RETRY_ROUNDS):
-            plan.retried = True
-            draw = self.model.retried_decode(rber)
-            self._round(plan, t.t_read + t.t_swift_extra, 2, draw.success, draw.t_ecc)
-            if draw.success:
+            b.retried = True
+            ok, t_ecc = self.model.retried_decode_outcome(rber)
+            self._round(b, t.t_read + t.t_swift_extra, 2, ok, t_ecc)
+            if ok:
                 return
-        self._soft_recovery_round(plan)
+        self._soft_recovery_round(b)
 
 
 class SSDZeroPolicy(ReadRetryPolicy):
@@ -188,11 +260,9 @@ class SSDZeroPolicy(ReadRetryPolicy):
 
     name = PolicyName.SSD_ZERO
 
-    def plan_read(self, rber: float) -> ReadPlan:
-        plan = ReadPlan(phases=[], rber=rber)
+    def plan_into(self, b: PlanBuild, rber: float) -> None:
         draw = self.model.healthy_decode(rber)
-        self._round(plan, self.timings.t_read, 1, True, draw.t_ecc)
-        return plan
+        self._round(b, self.timings.t_read, 1, True, draw.t_ecc)
 
 
 class SSDOnePolicy(ReadRetryPolicy):
@@ -200,20 +270,18 @@ class SSDOnePolicy(ReadRetryPolicy):
 
     name = PolicyName.SSD_ONE
 
-    def plan_read(self, rber: float) -> ReadPlan:
-        plan = ReadPlan(phases=[], rber=rber)
-        first = self.model.first_decode(rber)
-        self._round(plan, self.timings.t_read, 1, first.success, first.t_ecc)
-        if first.success:
-            return plan
-        plan.retried = True
+    def plan_into(self, b: PlanBuild, rber: float) -> None:
+        ok, t_ecc = self.model.first_decode_outcome(rber)
+        self._round(b, self.timings.t_read, 1, ok, t_ecc)
+        if ok:
+            return
+        b.retried = True
         for _ in range(MAX_RETRY_ROUNDS):
-            draw = self.model.retried_decode(rber)
-            self._round(plan, self.timings.t_read, 1, draw.success, draw.t_ecc)
-            if draw.success:
-                return plan
-        self._soft_recovery_round(plan)
-        return plan
+            ok, t_ecc = self.model.retried_decode_outcome(rber)
+            self._round(b, self.timings.t_read, 1, ok, t_ecc)
+            if ok:
+                return
+        self._soft_recovery_round(b)
 
 
 class SentinelPolicy(ReadRetryPolicy):
@@ -236,33 +304,31 @@ class SentinelPolicy(ReadRetryPolicy):
         self.p_extra_read = p_extra_read
         self.p_vref_miss = p_vref_miss
 
-    def plan_read(self, rber: float) -> ReadPlan:
+    def plan_into(self, b: PlanBuild, rber: float) -> None:
         t = self.timings
-        plan = ReadPlan(phases=[], rber=rber)
-        first = self.model.first_decode(rber)
-        self._round(plan, t.t_read, 1, first.success, first.t_ecc)
-        if first.success:
-            return plan
-        plan.retried = True
+        ok, t_ecc = self.model.first_decode_outcome(rber)
+        self._round(b, t.t_read, 1, ok, t_ecc)
+        if ok:
+            return
+        b.retried = True
         if self.model.bernoulli(self.p_extra_read):
             # sentinel-cell read: full page sense + off-chip transfer, no
             # LDPC decode (the controller only inspects the sentinel bits)
-            plan.phases.append(Phase(PhaseKind.SENSE, t.t_read))
-            plan.phases.append(Phase(PhaseKind.TRANSFER, t.t_dma, TAG_UNCOR))
-            plan.senses += 1
-            plan.uncorrectable_transfers += 1
+            b.phases.append((K_SENSE, t.t_read, TAG_COR, None))
+            b.phases.append((K_TRANSFER, t.t_dma, TAG_UNCOR, None))
+            b.senses += 1
+            b.uncorrectable_transfers += 1
         for _ in range(MAX_RETRY_ROUNDS):
             if self.model.bernoulli(self.p_vref_miss):
                 # predicted VREF missed: another failed full round
-                self._round(plan, t.t_read, 1, False,
+                self._round(b, t.t_read, 1, False,
                             self.model.latency.latency_us(rber, failed=True))
                 continue
-            draw = self.model.retried_decode(rber)
-            self._round(plan, t.t_read, 1, draw.success, draw.t_ecc)
-            if draw.success:
-                return plan
-        self._soft_recovery_round(plan)
-        return plan
+            ok, t_ecc = self.model.retried_decode_outcome(rber)
+            self._round(b, t.t_read, 1, ok, t_ecc)
+            if ok:
+                return
+        self._soft_recovery_round(b)
 
 
 class SwiftReadPolicy(ReadRetryPolicy):
@@ -270,13 +336,11 @@ class SwiftReadPolicy(ReadRetryPolicy):
 
     name = PolicyName.SWR
 
-    def plan_read(self, rber: float) -> ReadPlan:
-        plan = ReadPlan(phases=[], rber=rber)
-        first = self.model.first_decode(rber)
-        self._round(plan, self.timings.t_read, 1, first.success, first.t_ecc)
-        if not first.success:
-            self._reactive_swift_rounds(plan, rber)
-        return plan
+    def plan_into(self, b: PlanBuild, rber: float) -> None:
+        ok, t_ecc = self.model.first_decode_outcome(rber)
+        self._round(b, self.timings.t_read, 1, ok, t_ecc)
+        if not ok:
+            self._reactive_swift_rounds(b, rber)
 
 
 class SwiftReadPlusPolicy(SwiftReadPolicy):
@@ -292,15 +356,15 @@ class SwiftReadPlusPolicy(SwiftReadPolicy):
             raise ConfigError("p_tracked must be in [0, 1]")
         self.p_tracked = p_tracked
 
-    def plan_read(self, rber: float) -> ReadPlan:
+    def plan_into(self, b: PlanBuild, rber: float) -> None:
         if self.model.bernoulli(self.p_tracked):
-            plan = ReadPlan(phases=[], rber=rber)
-            draw = self.model.retried_decode(rber)  # pre-optimised voltages
-            self._round(plan, self.timings.t_read, 1, draw.success, draw.t_ecc)
-            if not draw.success:
-                self._reactive_swift_rounds(plan, rber)
-            return plan
-        return super().plan_read(rber)
+            # pre-optimised voltages
+            ok, t_ecc = self.model.retried_decode_outcome(rber)
+            self._round(b, self.timings.t_read, 1, ok, t_ecc)
+            if not ok:
+                self._reactive_swift_rounds(b, rber)
+            return
+        super().plan_into(b, rber)
 
 
 class RpAtControllerPolicy(ReadRetryPolicy):
@@ -310,23 +374,21 @@ class RpAtControllerPolicy(ReadRetryPolicy):
 
     name = PolicyName.RPSSD
 
-    def plan_read(self, rber: float) -> ReadPlan:
+    def plan_into(self, b: PlanBuild, rber: float) -> None:
         t = self.timings
-        plan = ReadPlan(phases=[], rber=rber)
-        first = self.model.first_decode(rber)
+        ok, t_ecc = self.model.first_decode_outcome(rber)
         rp_retry = self.model.rp_predicts_retry(rber)
-        plan.rp_predicted_retry = rp_retry
+        b.rp_predicted_retry = rp_retry
         if rp_retry:
             # decode aborted after the controller-side prediction; the page
             # is discarded regardless of its true correctability
-            self._round(plan, t.t_read, 1, False, t.t_pred)
-            self._reactive_swift_rounds(plan, rber)
-            return plan
-        self._round(plan, t.t_read, 1, first.success, first.t_ecc)
-        if not first.success:
+            self._round(b, t.t_read, 1, False, t.t_pred)
+            self._reactive_swift_rounds(b, rber)
+            return
+        self._round(b, t.t_read, 1, ok, t_ecc)
+        if not ok:
             # RP missed (false clean): the full failed decode was paid
-            self._reactive_swift_rounds(plan, rber)
-        return plan
+            self._reactive_swift_rounds(b, rber)
 
 
 class RifPolicy(ReadRetryPolicy):
@@ -350,20 +412,19 @@ class RifPolicy(ReadRetryPolicy):
         self.recheck_reread = recheck_reread
         self.max_in_die_rounds = max_in_die_rounds
 
-    def plan_read(self, rber: float) -> ReadPlan:
+    def plan_into(self, b: PlanBuild, rber: float) -> None:
         t = self.timings
-        plan = ReadPlan(phases=[], rber=rber)
         rp_retry = self.model.rp_predicts_retry(rber)
-        plan.rp_predicted_retry = rp_retry
+        b.rp_predicted_retry = rp_retry
         if rp_retry:
             # in-die retry: sense + prediction + one RVS re-read, then a
             # single transfer of the corrected page
-            plan.retried = True
-            plan.in_die_retry = True
+            b.retried = True
+            b.in_die_retry = True
             sense_us = t.t_read + t.t_pred + t.t_swift_extra
             senses = 2
             rounds = 1
-            draw = self.model.retried_decode(rber)
+            ok, t_ecc = self.model.retried_decode_outcome(rber)
             if self.recheck_reread:
                 # RP inspects the re-read too (one more tPRED per round):
                 # a still-uncorrectable re-read is caught on-die with the
@@ -371,24 +432,23 @@ class RifPolicy(ReadRetryPolicy):
                 # shipped to a doomed decode
                 retry_rber = self.model.retry_rber(rber)
                 sense_us += t.t_pred
-                while (not draw.success
+                while (not ok
                        and rounds < self.max_in_die_rounds
                        and self.model.rp_catches_failed_page(retry_rber)):
                     sense_us += t.t_swift_extra + t.t_pred
                     senses += 1
                     rounds += 1
-                    draw = self.model.retried_decode(rber)
-            self._round(plan, sense_us, senses, draw.success, draw.t_ecc)
-            if not draw.success:
-                self._reactive_swift_rounds(plan, rber)
-            return plan
-        first = self.model.first_decode(rber)
-        self._round(plan, t.t_read + t.t_pred, 1, first.success, first.t_ecc)
-        if not first.success:
+                    ok, t_ecc = self.model.retried_decode_outcome(rber)
+            self._round(b, sense_us, senses, ok, t_ecc)
+            if not ok:
+                self._reactive_swift_rounds(b, rber)
+            return
+        ok, t_ecc = self.model.first_decode_outcome(rber)
+        self._round(b, t.t_read + t.t_pred, 1, ok, t_ecc)
+        if not ok:
             # false clean: RP let an uncorrectable page through; fall back
             # to a controller-driven Swift-Read
-            self._reactive_swift_rounds(plan, rber)
-        return plan
+            self._reactive_swift_rounds(b, rber)
 
 
 #: Registry mapping policy names to constructors.

@@ -47,6 +47,7 @@ from ..obs.trace import SimTracer, SpanEvent, TraceConfig
 from ..rng import SeedLike, make_rng, spawn
 from ..units import SEC
 from ..workloads.trace import IORequest, Trace
+from .core_mode import resolve_core
 from .ecc_model import EccOutcomeModel
 from .events import Simulator
 from .ftl import PageMapFtl
@@ -161,6 +162,7 @@ class SSDSimulator:
         trace_config: Optional[TraceConfig] = None,
         snapshot_interval_us: Optional[float] = None,
         keep_raw_latencies: bool = True,
+        core: Optional[str] = None,
     ):
         self.config = config or SSDConfig()
         self.sim = Simulator()
@@ -219,22 +221,45 @@ class SSDSimulator:
             raise SimulationError("read_disturb_threshold must be >= 1")
 
         # --- resources ---
-        self.host_link = SerialResource(self.sim, "host")
-        self.planes = [
-            SerialResource(self.sim, f"plane{i}") for i in range(g.total_planes)
-        ]
+        #: which read-pipeline implementation executes this simulator:
+        #: "batched" (the structure-of-arrays engine, default) or "scalar"
+        #: (the closure-per-phase reference) — see repro.ssd.core_mode
+        self.core = resolve_core(core)
         #: with arbitration on, read transfers outrank writes/GC and
         #: un-gated traffic may bypass a decoder-stalled read (the channel
         #: keeps moving write data during ECCWAIT)
         self.channel_arbitration = channel_arbitration
-        self.channels = [
-            SerialResource(self.sim, f"ch{i}", arbitrated=channel_arbitration)
-            for i in range(g.channels)
-        ]
-        self.eccs = [
-            EccEngine(self.sim, f"ecc{i}", self.config.ecc.buffer_pages)
-            for i in range(g.channels)
-        ]
+        if self.core == "batched":
+            from .read_pipeline import FastChannel, FastEcc, FastFifo
+
+            self.host_link = FastFifo(self.sim, "host")
+            self.planes = [
+                FastFifo(self.sim, f"plane{i}") for i in range(g.total_planes)
+            ]
+            self.eccs = [
+                FastEcc(self.sim, f"ecc{i}", self.config.ecc.buffer_pages)
+                for i in range(g.channels)
+            ]
+            self.channels = [
+                FastChannel(self.sim, f"ch{i}", self.eccs[i],
+                            arbitrated=channel_arbitration)
+                for i in range(g.channels)
+            ]
+        else:
+            self.host_link = SerialResource(self.sim, "host")
+            self.planes = [
+                SerialResource(self.sim, f"plane{i}")
+                for i in range(g.total_planes)
+            ]
+            self.channels = [
+                SerialResource(self.sim, f"ch{i}",
+                               arbitrated=channel_arbitration)
+                for i in range(g.channels)
+            ]
+            self.eccs = [
+                EccEngine(self.sim, f"ecc{i}", self.config.ecc.buffer_pages)
+                for i in range(g.channels)
+            ]
         for channel, ecc in zip(self.channels, self.eccs):
             ecc.subscribe_on_release(channel.kick)
 
@@ -264,6 +289,28 @@ class SSDSimulator:
         )
         if self.fault_injector is not None:
             self._schedule_saturation_windows()
+
+        # --- batched read pipeline (constructed last: it captures the
+        # policy, sampler, metrics, tracer and fault wiring above) ---
+        if self.core == "batched":
+            from .read_pipeline import ReadPipeline
+
+            self._pipeline: Optional[ReadPipeline] = ReadPipeline(self)
+        else:
+            self._pipeline = None
+
+    @property
+    def tracer(self) -> Optional[SimTracer]:
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value: Optional[SimTracer]) -> None:
+        # tooling (repro.perf.profile) attaches a tracer post-construction;
+        # the batched pipeline caches trace wiring, so keep it in sync
+        self._tracer = value
+        pipeline = getattr(self, "_pipeline", None)
+        if pipeline is not None:
+            pipeline.attach_tracer(value)
 
     def _schedule_saturation_windows(self) -> None:
         """Wire ``ecc_saturation`` faults as sim-time events: hold decoder
@@ -312,6 +359,14 @@ class SSDSimulator:
                 args={"op": "read" if request.is_read else "write",
                       "bytes": request.size_bytes, "pages": len(lpns)},
             )
+        pipeline = self._pipeline
+        if pipeline is not None:
+            if request.is_read:
+                pipeline.start_reads(lpns, state)
+            else:
+                for lpn in lpns:
+                    pipeline.start_write(lpn, state)
+            return
         for lpn in lpns:
             if request.is_read:
                 self._start_page_read(lpn, state)

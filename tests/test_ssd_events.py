@@ -111,6 +111,73 @@ def test_max_events_budget_is_per_run_call():
     assert sim.processed_events == 60   # lifetime total keeps accumulating
 
 
+def test_tie_break_counter_is_explicit_and_monotonic():
+    """Equal-time ordering rests on an explicit per-push counter, not on
+    accidental heap stability — pin both the counter and the order."""
+    q = EventQueue()
+    assert q.tie_break == 0
+    for _ in range(4):
+        q.push(5.0, lambda: None)
+    q.push(1.0, lambda: None)
+    assert q.tie_break == 5  # one monotonic value per push, never reused
+    seqs = [q.pop()[1] for _ in range(len(q))]
+    assert seqs == [4, 0, 1, 2, 3]  # time first, then submission order
+
+
+def test_same_time_fifo_across_batch_boundaries():
+    """Work scheduled *at the current timestamp* from inside a same-time
+    batch runs after everything already queued at that timestamp — the
+    ordering contract the batch-draining run loop must preserve."""
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        # same-time follow-ups: must run after "second" and "third", which
+        # were already queued at t=2.0 when this callback fired
+        sim.after(0.0, lambda: fired.append("late-a"))
+        sim.after(0.0, lambda: fired.append("late-b"))
+
+    sim.after(2.0, first)
+    sim.after(2.0, lambda: fired.append("second"))
+    sim.after(2.0, lambda: fired.append("third"))
+    sim.run()
+    assert fired == ["first", "second", "third", "late-a", "late-b"]
+    assert sim.now == 2.0
+
+
+def test_stop_mid_batch_preserves_remaining_same_time_events():
+    """stop() inside a same-time batch must leave the unprocessed tail on
+    the queue, in order, so a resumed run picks up exactly where it left
+    off."""
+    sim = Simulator()
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        sim.stop()
+
+    sim.after(1.0, stopper)
+    for i in range(3):
+        sim.after(1.0, lambda i=i: fired.append(i))
+    sim.run()
+    assert fired == ["stop"]
+    sim.run()
+    assert fired == ["stop", 0, 1, 2]
+
+
+def test_max_events_mid_batch_leaves_queue_resumable():
+    sim = Simulator()
+    fired = []
+    for i in range(6):
+        sim.after(1.0, lambda i=i: fired.append(i))
+    with pytest.raises(SimulationError):
+        sim.run(max_events=2)
+    assert fired == [0, 1, 2]  # the guard trips on the event *after* the cap
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]  # tail survived with its order
+
+
 def test_event_queue_pop_empty_raises_simulation_error():
     q = EventQueue()
     with pytest.raises(SimulationError):
