@@ -16,7 +16,14 @@ that structure explicit:
   hangs (``cell_timeout_s``) and deterministic cell errors, turning them
   into per-cell :class:`CellFailure` records under ``on_failure="record"``;
 * :mod:`.cache` — :class:`ResultCache`, a content-addressed on-disk store
-  (spec hash -> result JSON) that skips already-computed cells;
+  (spec hash -> result JSON) that skips already-computed cells, with
+  atomic fsync'd writes, checksummed reads, and quarantine of damaged
+  entries;
+* :mod:`.durable` — the crash-safe campaign runtime: :class:`RunLedger`
+  (a write-ahead JSONL journal of per-cell state transitions),
+  checkpoint/resume via ``run_specs(..., ledger_dir=...)``, supervised
+  SIGINT/SIGTERM shutdown, and :func:`verify_ledger` (the fsck behind
+  ``python -m repro.campaign verify-ledger``);
 * :mod:`.serialize` — exact JSON round-tripping of results;
 * :mod:`.progress` — per-cell completion and wall-clock hooks, including
   the streaming telemetry reporters (:class:`LiveProgress` rewriting
@@ -25,6 +32,14 @@ that structure explicit:
 """
 
 from .cache import ResultCache
+from .durable import (
+    CampaignFaultDriver,
+    RunLedger,
+    grid_hash,
+    replay_ledger,
+    run_specs_durable,
+    verify_ledger,
+)
 from .executor import (
     CellFailure,
     ParallelExecutor,
@@ -69,7 +84,13 @@ __all__ = [
     "CellFailure",
     "make_executor",
     "run_specs",
+    "run_specs_durable",
     "ResultCache",
+    "RunLedger",
+    "CampaignFaultDriver",
+    "grid_hash",
+    "replay_ledger",
+    "verify_ledger",
     "ProgressHook",
     "CampaignStats",
     "PrintProgress",

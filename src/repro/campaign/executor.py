@@ -32,7 +32,9 @@ optional on-disk cache and progress reporting over whichever executor the
 
 from __future__ import annotations
 
+import atexit
 import os
+import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -41,7 +43,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import CampaignExecutionError, ConfigError
+from ..errors import CampaignExecutionError, CampaignInterrupted, ConfigError
 from ..ssd import SimulationResult
 from .cache import ResultCache
 from .progress import ProgressHook
@@ -50,6 +52,12 @@ from .spec import RunSpec, build_trace, execute
 #: ``report(spec, outcome, elapsed_s)`` — invoked once per finished cell
 #: (the outcome is a :class:`SimulationResult` or a :class:`CellFailure`).
 ReportFn = Callable[[RunSpec, "CellOutcome", float], None]
+
+#: ``on_claim(spec)`` — invoked just before a cell starts executing (in
+#: this process for the serial executor, at pool submission for the
+#: parallel one).  The durable runtime uses it to journal ``claim``
+#: records; resubmissions after a pool restart claim again (idempotent).
+ClaimFn = Callable[[RunSpec], None]
 
 #: Failure dispositions for a cell that crashed, hung, or errored.
 ON_FAILURE = ("raise", "record")
@@ -99,6 +107,15 @@ def _execute_cell(spec: RunSpec) -> Tuple[RunSpec, SimulationResult, float]:
     return spec, result, time.perf_counter() - started
 
 
+def _reason(exc: BaseException) -> str:
+    """`` (why)`` suffix for interrupt messages — e.g. the signal name a
+    :func:`~repro.campaign.durable.deliver_termination_as_interrupt`
+    handler attached; empty for a plain Ctrl-C."""
+    text = str(exc)
+    return f" ({text})" if text and not isinstance(
+        exc, CampaignInterrupted) else ""
+
+
 def _check_on_failure(on_failure: str) -> str:
     if on_failure not in ON_FAILURE:
         raise ConfigError(
@@ -137,7 +154,8 @@ class SerialExecutor:
             report(spec, failure, 0.0)
 
     def map(self, specs: Sequence[RunSpec],
-            report: Optional[ReportFn] = None) -> Dict[RunSpec, CellOutcome]:
+            report: Optional[ReportFn] = None,
+            on_claim: Optional[ClaimFn] = None) -> Dict[RunSpec, CellOutcome]:
         traces = {}
         results: Dict[RunSpec, CellOutcome] = {}
         for spec in specs:
@@ -151,9 +169,17 @@ class SerialExecutor:
             key = spec.trace_key()
             if key not in traces:
                 traces[key] = build_trace(spec)
+            if on_claim is not None:
+                on_claim(spec)
             started = time.perf_counter()
             try:
                 results[spec] = execute(spec, trace=traces[key])
+            except KeyboardInterrupt as exc:
+                raise CampaignInterrupted(
+                    f"campaign interrupted{_reason(exc)} with "
+                    f"{len(results)} of {len(specs)} cells finished",
+                    results=results,
+                ) from None
             except Exception as exc:
                 if self.on_failure == "raise":
                     raise CampaignExecutionError(
@@ -164,7 +190,17 @@ class SerialExecutor:
                            f"{type(exc).__name__}: {exc}", report)
                 continue
             if report is not None:
-                report(spec, results[spec], time.perf_counter() - started)
+                try:
+                    report(spec, results[spec],
+                           time.perf_counter() - started)
+                except KeyboardInterrupt as exc:
+                    # a signal landing inside the report callback must not
+                    # discard the finished cells
+                    raise CampaignInterrupted(
+                        f"campaign interrupted{_reason(exc)} with "
+                        f"{len(results)} of {len(specs)} cells finished",
+                        results=results,
+                    ) from None
         return results
 
 
@@ -180,10 +216,28 @@ class ParallelExecutor:
     re-run before it is declared failed; ``on_failure`` picks between
     raising a typed :class:`~repro.errors.CampaignExecutionError` and
     recording a :class:`CellFailure` in the result mapping.
+
+    Supervision knobs: ``heartbeat_s`` is the watchdog period — even with
+    no cell timeout the main loop wakes at least this often and restarts a
+    pool whose workers died without delivering ``BrokenProcessPool`` (a
+    silently-wedged pool); pool restarts back off exponentially from
+    ``restart_backoff_s`` (0 disables sleeping, the default) up to
+    ``restart_backoff_max_s``, with a deterministic ±``backoff_jitter``
+    fraction of spread so co-scheduled campaigns don't restart in
+    lockstep.
+
+    A SIGINT (KeyboardInterrupt) terminates every worker — the pool is
+    killed both on the exit path and by an ``atexit`` guard, so no orphan
+    processes survive — and surfaces as
+    :class:`~repro.errors.CampaignInterrupted` carrying the partial
+    results with ``completed=False`` instead of a bare traceback.
     """
 
     def __init__(self, jobs: Optional[int] = None, cell_timeout_s: Optional[float] = None,
-                 max_cell_retries: int = 1, on_failure: str = "raise"):
+                 max_cell_retries: int = 1, on_failure: str = "raise",
+                 heartbeat_s: float = 5.0, restart_backoff_s: float = 0.0,
+                 restart_backoff_max_s: float = 30.0,
+                 backoff_jitter: float = 0.1):
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -192,26 +246,39 @@ class ParallelExecutor:
             raise ConfigError("cell_timeout_s must be positive (or None)")
         if max_cell_retries < 0:
             raise ConfigError("max_cell_retries must be >= 0")
+        if heartbeat_s <= 0:
+            raise ConfigError("heartbeat_s must be positive")
+        if restart_backoff_s < 0 or restart_backoff_max_s < 0:
+            raise ConfigError("restart backoff values must be >= 0")
+        if not 0.0 <= backoff_jitter <= 1.0:
+            raise ConfigError("backoff_jitter must be in [0, 1]")
         self.jobs = jobs
         self.cell_timeout_s = cell_timeout_s
         self.max_cell_retries = max_cell_retries
         self.on_failure = _check_on_failure(on_failure)
+        self.heartbeat_s = heartbeat_s
+        self.restart_backoff_s = restart_backoff_s
+        self.restart_backoff_max_s = restart_backoff_max_s
+        self.backoff_jitter = backoff_jitter
 
     def map(self, specs: Sequence[RunSpec],
-            report: Optional[ReportFn] = None) -> Dict[RunSpec, CellOutcome]:
+            report: Optional[ReportFn] = None,
+            on_claim: Optional[ClaimFn] = None) -> Dict[RunSpec, CellOutcome]:
         if not specs:
             return {}
-        return _PoolRun(self, list(specs), report).run()
+        return _PoolRun(self, list(specs), report, on_claim).run()
 
 
 class _PoolRun:
     """One hardened parallel campaign execution (internal)."""
 
     def __init__(self, executor: ParallelExecutor, specs: List[RunSpec],
-                 report: Optional[ReportFn]):
+                 report: Optional[ReportFn],
+                 on_claim: Optional[ClaimFn] = None):
         self.executor = executor
         self.specs = specs
         self.report = report
+        self.on_claim = on_claim
         self.max_workers = min(executor.jobs, len(specs))
         self.results: Dict[RunSpec, CellOutcome] = {}
         self.queue = deque(specs)
@@ -250,8 +317,33 @@ class _PoolRun:
                 f"worker pool kept dying ({self.restarts} restarts); "
                 "aborting the campaign"
             )
+        self._backoff()
         self.running.clear()
         self.pool = self._new_pool()
+
+    def _backoff(self) -> None:
+        """Exponential backoff (with deterministic jitter) before a pool
+        restart, so a persistently-crashing environment is retried gently
+        rather than hammered."""
+        base = self.executor.restart_backoff_s
+        if base <= 0:
+            return
+        delay = min(base * (2 ** (self.restarts - 1)),
+                    self.executor.restart_backoff_max_s)
+        jitter = self.executor.backoff_jitter
+        if jitter:
+            # seeded by the restart ordinal: reproducible, but spread
+            spread = random.Random(self.restarts).uniform(-jitter, jitter)
+            delay *= 1.0 + spread
+        time.sleep(max(0.0, delay))
+
+    def _workers_died_silently(self) -> bool:
+        """Watchdog probe: true when a worker process is dead while cells
+        are still in flight and the pool has not surfaced the break."""
+        if self.pool is None or not self.running:
+            return False
+        procs = list(getattr(self.pool, "_processes", {}).values())
+        return bool(procs) and any(not proc.is_alive() for proc in procs)
 
     # --- outcome bookkeeping ----------------------------------------------
 
@@ -289,6 +381,10 @@ class _PoolRun:
 
     def run(self) -> Dict[RunSpec, CellOutcome]:
         self.pool = self._new_pool()
+        # belt and braces: if the interpreter exits while the pool is
+        # live (unhandled signal, sys.exit from a hook), the guard still
+        # terminates the workers — no orphan processes
+        atexit.register(self._kill_pool)
         try:
             while self.queue or self.running:
                 self._refill()
@@ -296,13 +392,22 @@ class _PoolRun:
                     continue
                 self._drain_once()
             return self.results
+        except KeyboardInterrupt as exc:
+            raise CampaignInterrupted(
+                f"campaign interrupted{_reason(exc)} with "
+                f"{len(self.results)} of {len(self.specs)} cells finished",
+                results=dict(self.results),
+            ) from None
         finally:
             self._kill_pool()
+            atexit.unregister(self._kill_pool)
 
     def _refill(self) -> None:
         while self.queue and len(self.running) < self.max_workers:
             spec = self.queue.popleft()
             self.attempts[spec] += 1
+            if self.on_claim is not None:
+                self.on_claim(spec)
             try:
                 future = self.pool.submit(_execute_cell, spec)
             except BrokenProcessPool:
@@ -314,12 +419,16 @@ class _PoolRun:
                 continue
             self.running[future] = (spec, time.monotonic())
 
-    def _wait_timeout(self) -> Optional[float]:
+    def _wait_timeout(self) -> float:
+        """Sleep bound for one drain: the earliest cell deadline when a
+        cell timeout is configured, but never longer than the watchdog
+        heartbeat — a wedged pool must not block the loop forever."""
+        heartbeat = self.executor.heartbeat_s
         limit = self.executor.cell_timeout_s
         if limit is None:
-            return None
+            return heartbeat
         earliest = min(t for _, t in self.running.values())
-        return max(0.0, earliest + limit - time.monotonic())
+        return min(heartbeat, max(0.0, earliest + limit - time.monotonic()))
 
     def _drain_once(self) -> None:
         done, _ = wait(set(self.running), timeout=self._wait_timeout(),
@@ -337,6 +446,10 @@ class _PoolRun:
                 self._cell_error(spec, exc)
             else:
                 self._record_success(spec, result, elapsed)
+        if not done and not broken and self._workers_died_silently():
+            # watchdog: a worker is gone but the pool never told us —
+            # treat it exactly like a surfaced BrokenProcessPool
+            broken = True
         if broken:
             # every other in-flight cell is doomed with the pool; re-run
             # all suspects one at a time to isolate the culprit.  The swept
@@ -390,6 +503,8 @@ class _PoolRun:
                                f"cell ({self.attempts[spec]} attempt(s))")
                     break
                 self.attempts[spec] += 1
+                if self.on_claim is not None:
+                    self.on_claim(spec)
                 future = self.pool.submit(_execute_cell, spec)
                 try:
                     _spec, result, elapsed = future.result(timeout=limit)
@@ -432,6 +547,9 @@ def run_specs(
     cell_timeout_s: Optional[float] = None,
     max_cell_retries: int = 1,
     on_failure: str = "raise",
+    ledger_dir: "str | os.PathLike | None" = None,
+    lease_s: float = 900.0,
+    campaign_faults=None,
 ) -> Dict[RunSpec, CellOutcome]:
     """Execute a campaign: cache lookup, (parallel) execution, cache fill.
 
@@ -443,7 +561,30 @@ def run_specs(
     worker crashed, hung past ``cell_timeout_s``, or raised map to
     :class:`CellFailure` records (never cached) instead of killing the
     grid.
+
+    With ``ledger_dir``, the campaign becomes *durable*
+    (:mod:`repro.campaign.durable`): every cell state transition is
+    journaled to a write-ahead ledger, SIGINT/SIGTERM shut the run down
+    gracefully (:class:`~repro.errors.CampaignInterrupted` carries the
+    partial results and a resume hint), and re-invoking the identical grid
+    with the same ``ledger_dir`` resumes bit-identically — completed cells
+    replay from the ledger-owned cache with zero recomputation, stale
+    claims are reclaimed after ``lease_s`` seconds (immediately when the
+    owning process is dead).  ``campaign_faults`` injects runtime chaos
+    (``campaign_kill`` / ``torn_cache_write``) for crash-recovery tests.
     """
+    if ledger_dir is not None:
+        from .durable import run_specs_durable
+
+        return run_specs_durable(
+            specs, jobs=jobs, cache=cache, progress=progress,
+            cell_timeout_s=cell_timeout_s, max_cell_retries=max_cell_retries,
+            on_failure=on_failure, ledger_dir=ledger_dir, lease_s=lease_s,
+            campaign_faults=campaign_faults,
+        )
+    if campaign_faults is not None:
+        raise ConfigError("campaign_faults requires ledger_dir (the durable "
+                          "runtime is what consumes them)")
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
     unique: List[RunSpec] = list(dict.fromkeys(specs))
@@ -473,7 +614,20 @@ def run_specs(
         executor = make_executor(jobs, cell_timeout_s=cell_timeout_s,
                                  max_cell_retries=max_cell_retries,
                                  on_failure=on_failure)
-        results.update(executor.map(to_run, report))
+        try:
+            results.update(executor.map(to_run, report))
+        except CampaignInterrupted as exc:
+            # merge cache hits into the executor's partial mapping so the
+            # caller sees everything that is actually known
+            merged = dict(results)
+            merged.update(exc.results)
+            if progress is not None:
+                progress.on_interrupt(str(exc))
+            raise CampaignInterrupted(
+                str(exc), results=merged,
+                resume_hint="re-run with a --cache (or --ledger) directory "
+                            "to keep finished cells",
+            ) from None
 
     if progress is not None:
         progress.on_finish(time.perf_counter() - started)

@@ -36,6 +36,11 @@ class ProgressHook:
     def on_finish(self, elapsed_s: float) -> None:
         """All cells reported; ``elapsed_s`` is the campaign wall clock."""
 
+    def on_interrupt(self, reason: str) -> None:
+        """The campaign is shutting down early (SIGINT/SIGTERM): flush and
+        close whatever this hook holds open.  ``on_finish`` will *not* be
+        called afterwards."""
+
 
 class CampaignStats(ProgressHook):
     """Aggregating hook: counts and wall-clock, no output."""
@@ -159,6 +164,10 @@ class LiveProgress(CampaignStats):
             self.completed, self.total, self.cached, self.failed, elapsed_s,
         ))
 
+    def on_interrupt(self, reason: str) -> None:
+        # leave the terminal on a clean final line, not mid-rewrite
+        self._writer.finish()
+
 
 class JsonlProgress(CampaignStats):
     """Stream one JSON record per event to a file (or open stream).
@@ -190,6 +199,17 @@ class JsonlProgress(CampaignStats):
         })
         self.sink.close()
 
+    def on_interrupt(self, reason: str) -> None:
+        """Flush-on-shutdown: record the interrupt so the log's last line
+        says *why* there is no ``finish`` record, then close the sink."""
+        self.sink.emit({
+            "event": "interrupt",
+            "reason": reason,
+            "executed": self.executed,
+            "cached": self.cached,
+        })
+        self.sink.close()
+
 
 class MultiProgress(ProgressHook):
     """Fan progress events out to several hooks (e.g. live line + JSONL)."""
@@ -208,3 +228,7 @@ class MultiProgress(ProgressHook):
     def on_finish(self, elapsed_s: float) -> None:
         for hook in self.hooks:
             hook.on_finish(elapsed_s)
+
+    def on_interrupt(self, reason: str) -> None:
+        for hook in self.hooks:
+            hook.on_interrupt(reason)

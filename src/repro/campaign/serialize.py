@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+import hashlib
 import json
 
 from ..errors import ConfigError
@@ -27,13 +28,26 @@ def result_from_dict(data: dict) -> SimulationResult:
     return SimulationResult.from_dict(data)
 
 
+def entry_checksum(result_dict: dict) -> str:
+    """Content checksum of one entry's result payload (canonical JSON)."""
+    payload = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def dump_entry(spec: RunSpec, result: SimulationResult) -> str:
-    """Serialise one cache entry (spec + its result) to JSON text."""
+    """Serialise one cache entry (spec + its result) to JSON text.
+
+    The envelope carries a content checksum of the result payload so a
+    torn or bit-rotted entry is *detected* on read rather than silently
+    deserialised into wrong numbers.
+    """
+    result_dict = result_to_dict(result)
     return json.dumps(
         {
             "schema": SPEC_SCHEMA_VERSION,
             "spec": spec.to_dict(),
-            "result": result_to_dict(result),
+            "result": result_dict,
+            "checksum": entry_checksum(result_dict),
         },
         sort_keys=True,
     )
@@ -42,8 +56,10 @@ def dump_entry(spec: RunSpec, result: SimulationResult) -> str:
 def load_entry(text: str, expected_spec: Optional[RunSpec] = None) -> SimulationResult:
     """Parse a cache entry, optionally verifying it belongs to ``spec``.
 
-    Raises :class:`ConfigError` on schema mismatch or spec mismatch — the
-    cache treats either as a miss rather than serving a wrong result.
+    Raises :class:`ConfigError` on schema mismatch, spec mismatch, or a
+    checksum mismatch — the cache treats any of them as a miss (and
+    quarantines the file) rather than serving a wrong result.  Entries
+    written before the checksum field existed still load.
     """
     data = json.loads(text)
     if data.get("schema") != SPEC_SCHEMA_VERSION:
@@ -51,6 +67,9 @@ def load_entry(text: str, expected_spec: Optional[RunSpec] = None) -> Simulation
             f"cache entry schema {data.get('schema')!r} != "
             f"{SPEC_SCHEMA_VERSION}"
         )
+    stored_sum = data.get("checksum")
+    if stored_sum is not None and stored_sum != entry_checksum(data["result"]):
+        raise ConfigError("cache entry checksum mismatch (corrupt entry)")
     if expected_spec is not None:
         stored = RunSpec.from_dict(data["spec"])
         if stored != expected_spec:

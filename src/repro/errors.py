@@ -17,7 +17,14 @@ full hierarchy::
     +-- DegradedReadError      read failed because the device is running
     |                          in degraded mode (e.g. an offline die)
     +-- CampaignExecutionError a campaign cell crashed, hung, or errored
-                               (carries the spec's content hash)
+    |                          (carries the spec's content hash)
+    +-- LedgerError            a run ledger is unusable (mid-file
+    |                          corruption, grid-hash mismatch, or a live
+    |                          concurrent claim on the same campaign)
+    +-- CampaignInterrupted    the campaign was stopped by SIGINT/SIGTERM;
+                               carries the partial results and a resume
+                               hint (also a KeyboardInterrupt subclass so
+                               Ctrl-C semantics are preserved)
 
 :class:`RetryExhaustedError` and :class:`DegradedReadError` are the *typed*
 read-failure outcomes of the fault-injection subsystem
@@ -78,3 +85,27 @@ class DegradedReadError(ReproError):
 class CampaignExecutionError(ReproError):
     """A campaign cell crashed its worker, timed out, or raised; the
     message names the offending spec by content hash."""
+
+
+class LedgerError(ReproError):
+    """A campaign run ledger cannot be used: mid-file corruption, a grid
+    hash that does not match the resumed campaign, or an unexpired claim
+    held by a live process (concurrent campaign on the same ledger)."""
+
+
+class CampaignInterrupted(ReproError, KeyboardInterrupt):
+    """The campaign was interrupted (SIGINT/SIGTERM) and shut down
+    gracefully: no orphaned workers, ledger and telemetry flushed.
+
+    ``results`` maps every spec that finished *before* the interrupt to
+    its outcome; ``completed`` is always ``False``; ``resume_hint`` tells
+    the operator how to pick the campaign back up.  Subclassing
+    ``KeyboardInterrupt`` keeps Ctrl-C semantics: generic
+    ``except Exception`` styles may still observe it via ``ReproError``.
+    """
+
+    def __init__(self, message: str, results=None, resume_hint: str = ""):
+        super().__init__(message)
+        self.results = {} if results is None else results
+        self.resume_hint = resume_hint
+        self.completed = False

@@ -45,6 +45,7 @@ def run_grid(
     jobs: Optional[int] = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressHook] = None,
+    ledger_dir: Optional[str] = None,
 ) -> Dict[Tuple[str, float, str], SimulationResult]:
     """Run every (workload, P/E, policy) combination once.
 
@@ -52,10 +53,14 @@ def run_grid(
     identically against every policy, and every simulator uses the same
     seed, so comparisons are paired.  ``jobs > 1`` executes cells on a
     process pool; ``cache_dir`` skips cells already computed by an earlier
-    campaign — neither changes any result.
+    campaign — neither changes any result.  ``ledger_dir`` makes the
+    campaign durable (:mod:`repro.campaign.durable`): a killed or
+    interrupted grid resumes from its write-ahead ledger, and the resumed
+    results are bit-identical to an uninterrupted run.
     """
     specs = grid_specs(workloads, policies, pe_points, scale=scale, seed=seed)
-    results = run_specs(specs, jobs=jobs, cache=cache_dir, progress=progress)
+    results = run_specs(specs, jobs=jobs, cache=cache_dir, progress=progress,
+                        ledger_dir=ledger_dir)
     keyed: Dict[Tuple[str, float, str], SimulationResult] = {}
     for spec, (workload, pe, policy) in zip(
         specs,

@@ -17,10 +17,12 @@ from .registry import ExperimentResult, register
 
 @register("fig17", "Normalized I/O bandwidth, all workloads and schemes")
 def run(scale: str = "small", seed: int = 7, jobs: int = 1,
-        cache_dir: Optional[str] = None, progress=None) -> ExperimentResult:
+        cache_dir: Optional[str] = None, progress=None,
+        ledger_dir: Optional[str] = None) -> ExperimentResult:
     workloads = workload_names()
     results = run_grid(workloads, FIG17_POLICIES, PE_POINTS, scale, seed,
-                       jobs=jobs, cache_dir=cache_dir, progress=progress)
+                       jobs=jobs, cache_dir=cache_dir, progress=progress,
+                       ledger_dir=ledger_dir)
     rows = []
     headline = {}
     for pe in PE_POINTS:

@@ -19,9 +19,11 @@ POLICIES = ("SENC", "SWR", "SWR+", "RPSSD", "RiFSSD")
 
 @register("fig18", "Channel usage breakdown (COR/UNCOR/ECCWAIT/IDLE)")
 def run(scale: str = "small", seed: int = 7, jobs: int = 1,
-        cache_dir: Optional[str] = None, progress=None) -> ExperimentResult:
+        cache_dir: Optional[str] = None, progress=None,
+        ledger_dir: Optional[str] = None) -> ExperimentResult:
     results = run_grid(WORKLOADS, POLICIES, PE_POINTS, scale, seed,
-                       jobs=jobs, cache_dir=cache_dir, progress=progress)
+                       jobs=jobs, cache_dir=cache_dir, progress=progress,
+                       ledger_dir=ledger_dir)
     rows = []
     headline = {}
     for workload in WORKLOADS:

@@ -35,13 +35,15 @@ def _progress_hook(args):
     return MultiProgress(hooks)
 
 
-def _experiment_kwargs(experiment, args) -> dict:
+def _experiment_kwargs(experiment, exp_id: str, args) -> dict:
     """Build the kwargs this experiment's ``run`` accepts.
 
     Every experiment takes ``scale`` and ``seed``; the SSD-level campaigns
-    additionally accept ``jobs`` / ``cache_dir`` / ``progress``, and the
-    timeline experiments ``trace_out`` — pass the execution options only
-    where they mean something.
+    additionally accept ``jobs`` / ``cache_dir`` / ``progress`` /
+    ``ledger_dir``, and the timeline experiments ``trace_out`` — pass the
+    execution options only where they mean something.  Each experiment
+    gets its own subdirectory under ``--ledger`` (a ledger is bound to one
+    grid; different experiments are different grids).
     """
     kwargs = {"scale": args.scale, "seed": args.seed}
     accepted = inspect.signature(experiment.run).parameters
@@ -49,6 +51,8 @@ def _experiment_kwargs(experiment, args) -> dict:
         kwargs["jobs"] = args.jobs
     if "cache_dir" in accepted:
         kwargs["cache_dir"] = args.cache
+    if "ledger_dir" in accepted and args.ledger:
+        kwargs["ledger_dir"] = f"{args.ledger}/{exp_id}"
     if "progress" in accepted:
         hook = _progress_hook(args)
         if hook is not None:
@@ -81,6 +85,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "computed by an earlier run")
     parser.add_argument("--wipe-cache", action="store_true",
                         help="empty the --cache directory and exit")
+    parser.add_argument("--ledger", metavar="DIR", default=None,
+                        help="durable campaign runtime: journal every cell "
+                             "to a write-ahead ledger under DIR/<id> so a "
+                             "killed or interrupted run resumes exactly "
+                             "where it stopped (Ctrl-C/SIGTERM shut down "
+                             "gracefully and print the resume hint)")
     parser.add_argument("--progress", action="store_true",
                         help="report per-cell campaign completion on stderr")
     parser.add_argument("--live", action="store_true",
@@ -134,7 +144,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     for exp_id in ids:
         experiment = get_experiment(exp_id)
         start = time.time()
-        result = experiment.run(**_experiment_kwargs(experiment, args))
+        try:
+            result = experiment.run(
+                **_experiment_kwargs(experiment, exp_id, args))
+        except KeyboardInterrupt as exc:
+            from ..errors import CampaignInterrupted
+
+            print(f"\n-- {exp_id} interrupted", file=sys.stderr)
+            if isinstance(exc, CampaignInterrupted):
+                print(f"-- {len(exc.results)} cell(s) already finished",
+                      file=sys.stderr)
+                if exc.resume_hint:
+                    print(f"-- {exc.resume_hint}", file=sys.stderr)
+            elif args.ledger:
+                print(f"-- re-run with --ledger {args.ledger} to resume",
+                      file=sys.stderr)
+            return 130
         collected.append(result)
         print(result.format_table())
         print(f"-- {exp_id} finished in {time.time() - start:.1f}s\n")

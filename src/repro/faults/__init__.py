@@ -21,6 +21,7 @@ in :mod:`repro.campaign.executor`.
 
 from .injector import FaultInjector, ReadFaultDecision
 from .plan import (
+    CAMPAIGN_FAULT_KINDS,
     FAULT_KINDS,
     FaultPlan,
     FaultSpec,
@@ -32,6 +33,7 @@ __all__ = [
     "FAULT_KINDS",
     "SIMULATOR_FAULT_KINDS",
     "WORKER_FAULT_KINDS",
+    "CAMPAIGN_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",

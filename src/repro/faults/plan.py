@@ -34,6 +34,21 @@ errors, Park et al. on read-retry — for the physical phenomena):
     Campaign-level chaos: the *worker process* executing this cell calls
     ``os._exit`` / sleeps for ``magnitude`` seconds.  Absorbed by the
     hardened executors, never by the simulator.
+``campaign_kill`` / ``torn_cache_write``
+    Runtime-level chaos consumed by the durable campaign layer
+    (:mod:`repro.campaign.durable`), never by the simulator or a worker.
+    Their triggers are evaluated against the *completed-cell index* of the
+    campaign (``start_read`` / ``end_read`` / ``period`` / ``count``
+    reinterpreted over that counter).  ``campaign_kill`` SIGKILLs the
+    campaign process itself at the trigger point (``magnitude`` 0.0 kills
+    after the cache write but *before* the ledger ``done`` record — the
+    nastiest window; any other value kills after the record).
+    ``torn_cache_write`` makes the matching cell's cache entry land torn:
+    only the first ``magnitude`` fraction of its bytes is written, and not
+    atomically — simulating a crash mid-write that the checksum layer must
+    detect and quarantine.  Pass these via ``run_specs(campaign_faults=
+    ...)`` rather than on a :class:`~repro.campaign.spec.RunSpec`, so they
+    never perturb cell content hashes.
 """
 
 from __future__ import annotations
@@ -56,7 +71,11 @@ SIMULATOR_FAULT_KINDS = (
 #: Fault kinds absorbed by the campaign executors, not the simulator.
 WORKER_FAULT_KINDS = ("worker_crash", "worker_hang")
 
-FAULT_KINDS = SIMULATOR_FAULT_KINDS + WORKER_FAULT_KINDS
+#: Fault kinds consumed by the durable campaign runtime (triggered on the
+#: completed-cell index): SIGKILL the campaign process / tear a cache write.
+CAMPAIGN_FAULT_KINDS = ("campaign_kill", "torn_cache_write")
+
+FAULT_KINDS = SIMULATOR_FAULT_KINDS + WORKER_FAULT_KINDS + CAMPAIGN_FAULT_KINDS
 
 #: Degraded-read dispositions: ``absorb`` completes the read immediately
 #: and counts it in ``SimMetrics.degraded_reads``; ``raise`` raises the
@@ -124,6 +143,11 @@ class FaultSpec:
             )
         if self.kind == "grown_bad_block" and self.block is None:
             raise FaultInjectionError("grown_bad_block needs an explicit block")
+        if self.kind == "torn_cache_write" and not self.magnitude < 1.0:
+            raise FaultInjectionError(
+                "torn_cache_write needs magnitude < 1.0 (the fraction of "
+                "the entry's bytes that land on disk)"
+            )
 
     def to_dict(self) -> dict:
         """JSON-compatible dict; :meth:`from_dict` round-trips exactly."""
@@ -180,6 +204,10 @@ class FaultPlan:
     def worker_faults(self) -> Tuple[FaultSpec, ...]:
         """Campaign-chaos directives executed at the worker level."""
         return tuple(f for f in self.faults if f.kind in WORKER_FAULT_KINDS)
+
+    def campaign_faults(self) -> Tuple[FaultSpec, ...]:
+        """Runtime-chaos directives consumed by the durable campaign layer."""
+        return tuple(f for f in self.faults if f.kind in CAMPAIGN_FAULT_KINDS)
 
     # --- serialisation ----------------------------------------------------
 

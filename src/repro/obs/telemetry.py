@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -25,10 +26,13 @@ class JsonlSink:
     Each :meth:`emit` writes one self-contained JSON object per line and
     flushes, so a consumer can tail the file while the campaign runs.
     The sink owns (and closes) the file handle only when constructed from
-    a path.
+    a path.  ``fsync=True`` additionally fsyncs every line — what the
+    durable campaign runtime uses so telemetry survives a SIGKILL up to
+    the last emitted record.  Emits after :meth:`close` are dropped, not
+    raised: shutdown paths may race a final event.
     """
 
-    def __init__(self, target: Union[str, Path, TextIO]):
+    def __init__(self, target: Union[str, Path, TextIO], fsync: bool = False):
         if isinstance(target, (str, Path)):
             path = Path(target)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -37,11 +41,23 @@ class JsonlSink:
         else:
             self._stream = target
             self._owns = False
+        self.fsync = fsync
         self.emitted = 0
 
+    @property
+    def closed(self) -> bool:
+        return self._stream.closed
+
     def emit(self, record: dict) -> None:
+        if self._stream.closed:
+            return
         self._stream.write(json.dumps(record, sort_keys=True) + "\n")
         self._stream.flush()
+        if self.fsync:
+            try:
+                os.fsync(self._stream.fileno())
+            except (OSError, io.UnsupportedOperation):
+                pass  # in-memory streams have no file descriptor
         self.emitted += 1
 
     def close(self) -> None:

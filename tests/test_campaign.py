@@ -203,7 +203,8 @@ def test_cache_corrupt_entry_recomputes(tmp_path):
     cache.put(spec, result)
     assert cache.get(spec) == result
     cache.path_for(spec).write_text("{not json")
-    assert cache.get(spec) is None
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        assert cache.get(spec) is None
     stats = CampaignStats()
     again = run_specs([spec], cache=cache, progress=stats)
     assert stats.executed == 1

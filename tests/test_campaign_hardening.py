@@ -53,6 +53,12 @@ def test_executor_knob_validation():
         ParallelExecutor(jobs=2, on_failure="ignore")
     with pytest.raises(ConfigError):
         SerialExecutor(on_failure="ignore")
+    with pytest.raises(ConfigError):
+        ParallelExecutor(jobs=2, heartbeat_s=0.0)
+    with pytest.raises(ConfigError):
+        ParallelExecutor(jobs=2, restart_backoff_s=-1.0)
+    with pytest.raises(ConfigError):
+        ParallelExecutor(jobs=2, backoff_jitter=1.5)
 
 
 # --- worker crash -------------------------------------------------------------------
@@ -129,6 +135,149 @@ def test_cell_error_recorded_not_retried():
     assert "NOSUCH" in failure.message  # the original error is preserved
     with pytest.raises(CampaignExecutionError, match="NOSUCH"):
         SerialExecutor().map([bad])
+
+
+# --- BrokenProcessPool recovery accounting ------------------------------------------
+
+
+def test_crash_retry_budget_accounting():
+    """A crashing cell burns exactly its own retry budget: attempts =
+    1 initial + max_cell_retries, no more, no fewer."""
+    bad = _spec(policy="SENC", fault_plan=CRASH)
+    for retries in (0, 2):
+        executor = ParallelExecutor(jobs=2, max_cell_retries=retries,
+                                    on_failure="record")
+        failure = executor.map([bad])[bad]
+        assert isinstance(failure, CellFailure)
+        assert failure.attempts == retries + 1
+
+
+def test_innocent_cells_survive_pool_break_without_burning_retries():
+    """Cells swept up in another cell's pool break are resubmitted with
+    their attempt refunded — even at max_cell_retries=0 every innocent
+    completes with a correct result."""
+    innocents = [_spec(), _spec(policy="RiFSSD"), _spec(policy="SSDzero")]
+    bad = _spec(policy="SENC", fault_plan=CRASH)
+    executor = ParallelExecutor(jobs=2, max_cell_retries=0,
+                                on_failure="record")
+    results = executor.map(innocents + [bad])
+    for spec in innocents:
+        assert results[spec] == execute(spec)
+    assert isinstance(results[bad], CellFailure)
+    assert results[bad].kind == "crash"
+    assert results[bad].attempts == 1
+
+
+def test_pool_break_suspects_isolated_to_culprit():
+    """After a break, suspects re-run one at a time: the culprit is the
+    only recorded failure, and the retries counter reflects the isolation
+    re-runs, not a whole-grid penalty."""
+    grid = [_spec(), _spec(policy="RiFSSD"),
+            _spec(policy="SENC", fault_plan=CRASH), _spec(policy="SSDzero")]
+    executor = ParallelExecutor(jobs=2, max_cell_retries=1,
+                                on_failure="record")
+    results = executor.map(grid)
+    failures = [r for r in results.values() if isinstance(r, CellFailure)]
+    assert len(failures) == 1
+    assert failures[0].spec_hash == grid[2].content_hash()
+    assert failures[0].attempts == 2
+
+
+def test_interrupt_during_parallel_run_returns_partial_results():
+    """KeyboardInterrupt surfaces as CampaignInterrupted carrying the
+    partial results (completed=False), not a bare traceback — and the
+    pool's workers are torn down on the way out."""
+    from repro.errors import CampaignInterrupted
+
+    specs = [_spec(), _spec(policy="RiFSSD"), _spec(policy="SENC"),
+             _spec(policy="SSDzero")]
+    seen = []
+
+    def report(spec, outcome, elapsed):
+        seen.append(spec)
+        if len(seen) == 2:
+            raise KeyboardInterrupt
+
+    executor = ParallelExecutor(jobs=2, on_failure="record")
+    with pytest.raises(CampaignInterrupted) as info:
+        executor.map(specs, report)
+    exc = info.value
+    assert exc.completed is False
+    assert len(exc.results) >= 2
+    for spec, outcome in exc.results.items():
+        assert outcome == execute(spec)  # partials are real results
+
+
+def test_serial_interrupt_keeps_finished_cells():
+    from repro.errors import CampaignInterrupted
+
+    specs = [_spec(), _spec(policy="RiFSSD"), _spec(policy="SENC")]
+
+    def report(spec, outcome, elapsed):
+        raise KeyboardInterrupt
+
+    with pytest.raises(CampaignInterrupted) as info:
+        SerialExecutor().map(specs, report)
+    assert len(info.value.results) == 1
+    assert info.value.results[specs[0]] == execute(specs[0])
+
+
+def test_watchdog_probe_spots_dead_worker_and_heartbeat_bounds_waits():
+    """The supervision layer's two halves: ``_workers_died_silently``
+    notices a worker that died behind the pool's back, and the drain wait
+    is bounded by ``heartbeat_s`` even with no cell timeout configured —
+    so a wedged pool can never block the main loop indefinitely."""
+    import os as _os
+    import signal as _signal
+    import time as _time
+
+    from repro.campaign.executor import _PoolRun
+
+    slow = _spec(fault_plan=FaultPlan(faults=(
+        FaultSpec(kind="worker_hang", magnitude=30.0),)))
+    executor = ParallelExecutor(jobs=1, max_cell_retries=0,
+                                on_failure="record", heartbeat_s=0.2)
+    run = _PoolRun(executor, [slow], None)
+    run.pool = run._new_pool()
+    try:
+        run._refill()
+        assert run.running and not run._workers_died_silently()
+        assert run._wait_timeout() <= 0.2  # heartbeat bound, no timeout set
+        for proc in list(run.pool._processes.values()):
+            _os.kill(proc.pid, _signal.SIGKILL)
+        deadline = _time.monotonic() + 5.0
+        while (not run._workers_died_silently()
+               and _time.monotonic() < deadline):
+            _time.sleep(0.05)
+        assert run._workers_died_silently()
+    finally:
+        run._kill_pool()
+
+
+def test_restart_backoff_schedule_is_bounded_and_deterministic():
+    executor = ParallelExecutor(jobs=2, restart_backoff_s=0.01,
+                                restart_backoff_max_s=0.04,
+                                backoff_jitter=0.0)
+    from repro.campaign.executor import _PoolRun
+
+    run = _PoolRun(executor, [_spec()], None)
+    import time as _time
+
+    delays = []
+    for restarts in (1, 2, 3, 4, 5):
+        run.restarts = restarts
+        start = _time.perf_counter()
+        run._backoff()
+        delays.append(_time.perf_counter() - start)
+    assert delays[0] < delays[2]          # exponential growth...
+    assert max(delays) < 0.08             # ...capped at the maximum
+    # zero base disables sleeping entirely
+    executor_off = ParallelExecutor(jobs=2)
+    run_off = _PoolRun(executor_off, [_spec()], None)
+    run_off.restarts = 10
+    start = _time.perf_counter()
+    run_off._backoff()
+    assert _time.perf_counter() - start < 0.05
 
 
 # --- run_specs orchestration --------------------------------------------------------

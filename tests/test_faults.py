@@ -101,6 +101,33 @@ def test_plan_splits_simulator_and_worker_faults():
                                                       "worker_hang"]
 
 
+def test_plan_splits_campaign_faults():
+    """The durable-runtime chaos kinds are their own family: consumed by
+    the campaign process itself, never by a simulator or worker."""
+    from repro.faults import CAMPAIGN_FAULT_KINDS
+
+    assert CAMPAIGN_FAULT_KINDS == ("campaign_kill", "torn_cache_write")
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="campaign_kill", start_read=2, count=1),
+        FaultSpec(kind="torn_cache_write", start_read=1, magnitude=0.5),
+        FaultSpec(kind="transient_sense"),
+    ))
+    assert [f.kind for f in plan.campaign_faults()] == [
+        "campaign_kill", "torn_cache_write"]
+    assert [f.kind for f in plan.simulator_faults()] == ["transient_sense"]
+    assert not plan.worker_faults()
+    # round-trips like every other plan
+    again = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+    assert again == plan
+
+
+def test_torn_cache_write_magnitude_must_tear():
+    # the default magnitude (1.0) would keep every byte — a silent no-op
+    with pytest.raises(FaultInjectionError, match="magnitude"):
+        FaultSpec(kind="torn_cache_write")
+    assert FaultSpec(kind="torn_cache_write", magnitude=0.0).magnitude == 0.0
+
+
 def test_spec_with_plan_hashes_and_roundtrips():
     bare = _spec()
     assert "fault_plan" not in bare.to_dict()  # pre-fault-plan hash stability

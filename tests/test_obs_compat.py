@@ -76,13 +76,18 @@ def test_cache_roundtrip_and_forward_compat(tmp_path):
     assert cache.get(spec) == result
 
     # a future writer adds result-level keys the current reader ignores
+    # (and, like any writer, stamps the entry's content checksum)
+    from repro.campaign.serialize import entry_checksum
+
     stored["result"]["schema_version"] = RESULT_SCHEMA_VERSION + 1
     stored["result"]["future_summary"] = {"p99_us": 1.0}
     stored["result"]["metrics"]["future_counter"] = 7
+    stored["checksum"] = entry_checksum(stored["result"])
     path.write_text(json.dumps(stored))
     assert cache.get(spec) == result
 
-    # but a corrupted envelope still reads as a miss
+    # but a corrupted envelope still reads as a miss (quarantined)
     stored["schema"] = -1
     path.write_text(json.dumps(stored))
-    assert cache.get(spec) is None
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        assert cache.get(spec) is None

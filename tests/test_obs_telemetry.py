@@ -60,6 +60,21 @@ def test_jsonl_sink_stream_and_path(tmp_path):
     assert file_sink.emitted == 2
 
 
+def test_jsonl_sink_fsync_and_drop_after_close(tmp_path):
+    path = tmp_path / "durable.jsonl"
+    sink = JsonlSink(path, fsync=True)
+    sink.emit({"x": 1})
+    sink.close()
+    assert sink.closed
+    sink.emit({"x": 2})  # shutdown race: dropped, not raised
+    assert sink.emitted == 1
+    assert len(path.read_text().splitlines()) == 1
+    # fsync on an in-memory stream is a harmless no-op
+    buf = io.StringIO()
+    JsonlSink(buf, fsync=True).emit({"y": 1})
+    assert buf.getvalue()
+
+
 def test_render_jsonl():
     text = render_jsonl([{"a": 1}, {"a": 2}])
     assert text.count("\n") == 2
@@ -137,6 +152,19 @@ def test_jsonl_progress(tmp_path):
     assert records[3]["ok"] is False
     assert records[-1] == {"event": "finish", "executed": 2, "cached": 1,
                            "wall_clock_s": 2.0}
+
+
+def test_jsonl_progress_interrupt_flushes_and_closes(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    hook = JsonlProgress(path)
+    hook.on_start(3)
+    hook.on_result(_FakeSpec(), _ok_outcome(), 1.0, cached=False)
+    hook.on_interrupt("terminated by signal 15")
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["event"] for r in records] == ["start", "cell", "interrupt"]
+    assert records[-1]["reason"] == "terminated by signal 15"
+    assert records[-1]["executed"] == 1
+    assert hook.sink.closed  # flushed and closed: nothing buffered is lost
 
 
 def test_live_progress():
