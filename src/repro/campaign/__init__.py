@@ -49,6 +49,7 @@ from .executor import (
 )
 from .progress import (
     CampaignStats,
+    DashboardProgress,
     JsonlProgress,
     LiveProgress,
     MultiProgress,
@@ -97,6 +98,7 @@ __all__ = [
     "LiveProgress",
     "JsonlProgress",
     "MultiProgress",
+    "DashboardProgress",
     "cell_report",
     "dump_entry",
     "load_entry",

@@ -497,6 +497,7 @@ def run_specs_durable(
     lease_s: float = 900.0,
     campaign_faults: "FaultPlan | dict | None" = None,
     fsync: bool = True,
+    fleet=None,
 ):
     """The ledger-backed body of :func:`~repro.campaign.executor.run_specs`
     (which delegates here whenever ``ledger_dir`` is given).
@@ -529,6 +530,8 @@ def run_specs_durable(
     def _report_replay(spec: RunSpec, outcome) -> None:
         nonlocal replayed
         replayed += 1
+        if fleet is not None:
+            fleet.observe(spec, outcome, cached=True)
         if progress is not None:
             progress.on_result(spec, outcome, 0.0, cached=True)
 
@@ -600,6 +603,12 @@ def run_specs_durable(
             with deliver_termination_as_interrupt():
                 results.update(executor.map(to_run, report,
                                             on_claim=ledger.claim))
+            # spec order, not completion order — keeps fleet float sums
+            # bit-identical between serial and parallel runs (see
+            # run_specs)
+            if fleet is not None:
+                for spec in to_run:
+                    fleet.observe(spec, results[spec], cached=False)
 
         ledger.finish(executed=executed, cached=replayed)
         if progress is not None:

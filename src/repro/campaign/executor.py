@@ -550,6 +550,7 @@ def run_specs(
     ledger_dir: "str | os.PathLike | None" = None,
     lease_s: float = 900.0,
     campaign_faults=None,
+    fleet=None,
 ) -> Dict[RunSpec, CellOutcome]:
     """Execute a campaign: cache lookup, (parallel) execution, cache fill.
 
@@ -572,6 +573,14 @@ def run_specs(
     claims are reclaimed after ``lease_s`` seconds (immediately when the
     owning process is dead).  ``campaign_faults`` injects runtime chaos
     (``campaign_kill`` / ``torn_cache_write``) for crash-recovery tests.
+
+    With a ``fleet`` (:class:`~repro.obs.registry.FleetAggregator`), every
+    cell outcome — fresh, cached, or ledger-replayed — is folded into the
+    cross-cell metric rollup.  Fresh cells are observed in *spec order*
+    after the executor returns (not in completion order), so serial and
+    ``jobs=N`` runs accumulate floating-point sums in exactly the same
+    sequence: the resulting fleet aggregates are bit-identical, not just
+    commutatively equivalent.
     """
     if ledger_dir is not None:
         from .durable import run_specs_durable
@@ -580,7 +589,7 @@ def run_specs(
             specs, jobs=jobs, cache=cache, progress=progress,
             cell_timeout_s=cell_timeout_s, max_cell_retries=max_cell_retries,
             on_failure=on_failure, ledger_dir=ledger_dir, lease_s=lease_s,
-            campaign_faults=campaign_faults,
+            campaign_faults=campaign_faults, fleet=fleet,
         )
     if campaign_faults is not None:
         raise ConfigError("campaign_faults requires ledger_dir (the durable "
@@ -598,6 +607,8 @@ def run_specs(
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             results[spec] = hit
+            if fleet is not None:
+                fleet.observe(spec, hit, cached=True)
             if progress is not None:
                 progress.on_result(spec, hit, 0.0, cached=True)
         else:
@@ -616,6 +627,11 @@ def run_specs(
                                  on_failure=on_failure)
         try:
             results.update(executor.map(to_run, report))
+            # observed in spec order, not completion order: parallel runs
+            # would otherwise fold float sums in a nondeterministic order
+            if fleet is not None:
+                for spec in to_run:
+                    fleet.observe(spec, results[spec], cached=False)
         except CampaignInterrupted as exc:
             # merge cache hits into the executor's partial mapping so the
             # caller sees everything that is actually known

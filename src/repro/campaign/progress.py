@@ -21,6 +21,9 @@ import sys
 import time
 from typing import List, Optional, TextIO
 
+from ..obs.dashboard import MultiLineWriter, render_dashboard
+from ..obs.registry import FleetAggregator
+from ..obs.slo import default_slos, evaluate_fleet
 from ..obs.telemetry import JsonlSink, LiveLineWriter, live_line
 
 
@@ -112,6 +115,7 @@ def cell_report(spec, outcome, elapsed_s: float, cached: bool) -> dict:
     }
     metrics = getattr(outcome, "metrics", None)
     if metrics is not None:
+        summary = metrics.latency_summary()
         record.update({
             "ok": True,
             "policy": outcome.policy,
@@ -124,7 +128,15 @@ def cell_report(spec, outcome, elapsed_s: float, cached: bool) -> dict:
             "faults_injected": metrics.faults_injected,
             "degraded_reads": metrics.degraded_reads,
             "elapsed_us": metrics.elapsed_us,
+            # tail-latency digest (None-valued when the cell saw no reads)
+            "p50_read_us": summary["p50_us"],
+            "p99_read_us": summary["p99_us"],
+            "p999_read_us": summary["p999_us"],
         })
+        if metrics.read_latency_hist.count:
+            # the sparse histogram lets a JSONL consumer rebuild exact
+            # fleet-level latency rollups (FleetAggregator.observe_record)
+            record["read_latency_hist"] = metrics.read_latency_hist.to_dict()
     else:  # CellFailure
         record.update({
             "ok": False,
@@ -209,6 +221,46 @@ class JsonlProgress(CampaignStats):
             "cached": self.cached,
         })
         self.sink.close()
+
+
+class DashboardProgress(CampaignStats):
+    """Live multi-line fleet dashboard: per-policy tail latency, retry
+    rates, degraded cells, and SLO verdicts, repainted as cells land.
+
+    Owns a :class:`~repro.obs.registry.FleetAggregator` (exposed as
+    ``.fleet`` so callers can export the final rollup) and judges it
+    against ``slos`` (default: :func:`repro.obs.slo.default_slos`) on
+    every repaint.  Purely an observer — the campaign's results are
+    untouched.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, slos=None):
+        super().__init__()
+        self.fleet = FleetAggregator()
+        self.slos = list(slos) if slos is not None else default_slos()
+        self.failed = 0
+        self._writer = MultiLineWriter(stream)
+
+    def _render(self, elapsed_s: float) -> List[str]:
+        reports = evaluate_fleet(self.fleet, self.slos) if self.slos else []
+        return render_dashboard(
+            self.fleet, done=self.completed, total=self.total,
+            failed=self.failed, elapsed_s=elapsed_s, slo_reports=reports)
+
+    def on_result(self, spec, result, elapsed_s: float, cached: bool) -> None:
+        super().on_result(spec, result, elapsed_s, cached)
+        if getattr(result, "metrics", None) is None:
+            self.failed += 1
+        self.fleet.observe(spec, result, cached=cached)
+        self._writer.update(self._render(
+            time.perf_counter() - self._started_at))
+
+    def on_finish(self, elapsed_s: float) -> None:
+        super().on_finish(elapsed_s)
+        self._writer.finish(self._render(elapsed_s))
+
+    def on_interrupt(self, reason: str) -> None:
+        self._writer.finish()
 
 
 class MultiProgress(ProgressHook):

@@ -259,8 +259,16 @@ def build_trace(spec: RunSpec) -> Trace:
     )
 
 
-def build_simulator(spec: RunSpec) -> SSDSimulator:
-    """Construct the fully-wired simulator the spec describes."""
+def build_simulator(spec: RunSpec,
+                    snapshot_interval_us: Optional[float] = None,
+                    keep_raw_latencies: bool = True) -> SSDSimulator:
+    """Construct the fully-wired simulator the spec describes.
+
+    ``snapshot_interval_us`` and ``keep_raw_latencies`` are *observability*
+    knobs, deliberately not :class:`RunSpec` fields: they never change a
+    result (the obs layer is passive), so they must not perturb the spec's
+    content hash or cache identity.
+    """
     config = build_config(spec)
     outcome_model = None
     if spec.outcome_kwargs:
@@ -279,19 +287,25 @@ def build_simulator(spec: RunSpec) -> SSDSimulator:
         operating_temp_c=spec.operating_temp_c,
         channel_arbitration=spec.channel_arbitration,
         fault_plan=spec.fault_plan,
+        snapshot_interval_us=snapshot_interval_us,
+        keep_raw_latencies=keep_raw_latencies,
     )
 
 
-def execute(spec: RunSpec, trace: Optional[Trace] = None) -> SimulationResult:
+def execute(spec: RunSpec, trace: Optional[Trace] = None,
+            snapshot_interval_us: Optional[float] = None) -> SimulationResult:
     """Run one spec to completion.
 
     ``trace`` may be supplied to share a pre-generated trace across specs
     with the same :meth:`RunSpec.trace_key`; it must be identical to what
     :func:`build_trace` would regenerate (the serial executor relies on
     this to skip redundant generation without changing results).
+    ``snapshot_interval_us`` enables the passive per-window recorder
+    (burn-rate SLO evaluation needs its time slices) without affecting
+    the result or the spec's cache identity.
     """
     sizing = spec.resolved_sizing()
-    ssd = build_simulator(spec)
+    ssd = build_simulator(spec, snapshot_interval_us=snapshot_interval_us)
     run_kwargs = dict(mode=spec.mode)
     if spec.mode == "closed":
         run_kwargs["queue_depth"] = sizing.queue_depth

@@ -97,6 +97,7 @@ def run(scale: str = "small", seed: int = 7, jobs: int = 1,
                 "bw_vs_clean": result.io_bandwidth_mb_s
                 / clean.io_bandwidth_mb_s,
                 "p99_read_us": m.read_latency_percentile(99.0),
+                "p999_read_us": m.read_latency_percentile(99.9),
                 "faults_injected": m.faults_injected,
                 "faults_absorbed": m.faults_absorbed,
                 "fault_retries": m.fault_retries,

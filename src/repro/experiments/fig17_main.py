@@ -43,6 +43,17 @@ def run(scale: str = "small", seed: int = 7, jobs: int = 1,
         headline[f"rif_vs_zero_gap_pe{int(pe)}"] = (
             1.0 - gm_row["RiFSSD"] / gm_row["SSDzero"]
         )
+    # tail-latency companion to the bandwidth headline: geomean across
+    # workloads of the RiF/SENC read-latency percentile ratio at 2K P/E,
+    # expressed as a cut (positive = RiF's tail is shorter)
+    for q, key in ((99.0, "p99"), (99.9, "p999")):
+        ratios = []
+        for workload in workloads:
+            senc_q = results[(workload, 2000.0, "SENC")].metrics
+            rif_q = results[(workload, 2000.0, "RiFSSD")].metrics
+            ratios.append(rif_q.read_latency_percentile(q)
+                          / senc_q.read_latency_percentile(q))
+        headline[f"rif_vs_senc_{key}_cut_2k"] = 1.0 - geomean(ratios)
     return ExperimentResult(
         experiment_id="fig17",
         title="RiF vs state-of-the-art (paper: +23.8/47.4/72.1% over SENC; "

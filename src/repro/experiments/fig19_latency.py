@@ -35,13 +35,17 @@ def run(scale: str = "small", seed: int = 7, jobs: int = 1,
             rows.append(row)
     senc = results[(WORKLOAD, 2000.0, "SENC")].metrics
     rif = results[(WORKLOAD, 2000.0, "RiFSSD")].metrics
-    tail_q = PERCENTILES[-1]
-    reduction = 1.0 - (
-        rif.read_latency_percentile(tail_q) / senc.read_latency_percentile(tail_q)
-    )
+    headline = {}
+    # p99 and p99.9 reductions at the highest wear point; the p99.9 key is
+    # pinned by benchmarks/bench_fig19_latency.py — do not rename it.
+    for q in (99.0, PERCENTILES[-1]):
+        reduction = 1.0 - (
+            rif.read_latency_percentile(q) / senc.read_latency_percentile(q)
+        )
+        headline[f"rif_vs_senc_p{q:g}_reduction_2k"] = reduction
     return ExperimentResult(
         experiment_id="fig19",
         title="Tail-latency collapse (paper: p99.99 down 91.8% vs SENC at 2K)",
         rows=rows,
-        headline={f"rif_vs_senc_p{tail_q:g}_reduction_2k": reduction},
+        headline=headline,
     )

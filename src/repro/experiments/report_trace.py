@@ -35,6 +35,8 @@ def trace_report(path, top: int = 10) -> List[ExperimentResult]:
                     "spans": row["spans"],
                     "busy_us": row["busy_us"],
                     "util": row["util"],
+                    "p99_us": row["p99_us"],
+                    "p999_us": row["p999_us"],
                     "by_tag_us": row["by_tag_us"],
                 }
                 for row in rollup

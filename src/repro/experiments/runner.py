@@ -26,6 +26,10 @@ def _progress_hook(args):
         from ..campaign import JsonlProgress
 
         hooks.append(JsonlProgress(args.telemetry))
+    if args.dashboard:
+        from ..campaign import DashboardProgress
+
+        hooks.append(DashboardProgress())
     if not hooks:
         return None
     if len(hooks) == 1:
@@ -100,6 +104,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="stream one JSON record per campaign cell "
                              "(label, wall time, cache hit, counters) to "
                              "FILE; tail it while the grid runs")
+    parser.add_argument("--dashboard", action="store_true",
+                        help="repaint a live multi-line fleet panel "
+                             "(per-policy tail latency, retry rates, SLO "
+                             "verdicts) on stderr while the grid runs")
     parser.add_argument("--trace-out", metavar="DIR", default=None,
                         help="export Chrome trace_event JSON from "
                              "trace-capable experiments (e.g. fig7) to DIR; "

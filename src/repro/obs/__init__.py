@@ -17,10 +17,22 @@ simulation result, which the determinism tests pin down bit-for-bit.
   usage + counter time-series (bandwidth / ECCWAIT over time).
 * :mod:`.telemetry` — JSONL sinks and live status lines the campaign
   progress reporters stream through.
+* :mod:`.registry` — the labeled metric plane: :class:`MetricRegistry`
+  (Counter/Gauge/Histogram families with exact, commutative merge),
+  passive RNG-free scrapes of simulators and results, and
+  :class:`FleetAggregator` for cross-cell/cross-worker rollups.
+* :mod:`.slo` — declarative :class:`SloSpec` objectives (tail latency,
+  error budgets, windowed burn-rate rules) with pass/fail verdicts.
+* :mod:`.dashboard` — Prometheus text exposition (+ validator), registry
+  JSONL, the rewriting terminal fleet panel, and static HTML reports.
+
+``python -m repro.obs`` (see :mod:`.__main__`) exposes ``scrape``,
+``slo-report``, and ``dashboard`` subcommands over these pieces.
 
 Import discipline: nothing here imports :mod:`repro.ssd` or
 :mod:`repro.campaign` at module scope (those layers import *us*), so the
-package stays cycle-free.
+package stays cycle-free; the scrape/evaluate entry points duck-type
+against simulator/result/fleet attribute contracts instead.
 """
 
 from .histogram import LatencyHistogram
@@ -36,6 +48,34 @@ from .export import (
 )
 from .snapshots import SnapshotRecorder, UsageSnapshot
 from .telemetry import JsonlSink, LiveLineWriter, format_duration, live_line
+from .registry import (
+    FleetAggregator,
+    MetricFamily,
+    MetricRegistry,
+    reconcile_with_metrics,
+    scrape_result,
+    scrape_simulator,
+)
+from .slo import (
+    BurnRateRule,
+    LatencyObjective,
+    SloReport,
+    SloSpec,
+    SloVerdict,
+    default_slos,
+    evaluate_fleet,
+    evaluate_slo,
+    load_slos,
+    windows_from_snapshots,
+)
+from .dashboard import (
+    MultiLineWriter,
+    html_report,
+    prometheus_text,
+    registry_jsonl,
+    render_dashboard,
+    validate_prometheus_text,
+)
 
 __all__ = [
     "LatencyHistogram",
@@ -56,4 +96,26 @@ __all__ = [
     "LiveLineWriter",
     "live_line",
     "format_duration",
+    "MetricRegistry",
+    "MetricFamily",
+    "FleetAggregator",
+    "scrape_simulator",
+    "scrape_result",
+    "reconcile_with_metrics",
+    "SloSpec",
+    "SloReport",
+    "SloVerdict",
+    "LatencyObjective",
+    "BurnRateRule",
+    "evaluate_slo",
+    "evaluate_fleet",
+    "default_slos",
+    "load_slos",
+    "windows_from_snapshots",
+    "prometheus_text",
+    "validate_prometheus_text",
+    "registry_jsonl",
+    "render_dashboard",
+    "MultiLineWriter",
+    "html_report",
 ]

@@ -15,6 +15,7 @@ message on the first malformed event.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Dict, Iterable, List
 
@@ -254,16 +255,35 @@ def load_trace_spans(path) -> List[dict]:
     return spans
 
 
+def _nearest_rank(sorted_values: List[float], quantile: float) -> float:
+    """Nearest-rank percentile over an already-sorted list.
+
+    Local on purpose: the obs export layer must not import
+    :mod:`repro.ssd` for its percentile helper, and span durations are
+    small per-track lists, not latency streams.
+    """
+    rank = max(1, math.ceil(quantile / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
 def summarize_spans(spans: List[dict]) -> List[dict]:
-    """Per-track rollup rows for the ``report-trace`` table."""
+    """Per-track rollup rows for the ``report-trace`` table.
+
+    Alongside busy time and utilisation, each row carries the span-duration
+    tail (``p99_us`` / ``p999_us`` via nearest rank) so a long-tailed track
+    (one slow decode among thousands of fast ones) stands out even when its
+    mean looks healthy.
+    """
     per_track: Dict[str, dict] = {}
     for span in spans:
         row = per_track.setdefault(span["track"], {
             "track": span["track"], "spans": 0, "busy_us": 0.0,
             "first_us": span["start_us"], "last_us": 0.0, "tags": {},
+            "durs": [],
         })
         row["spans"] += 1
         row["busy_us"] += span["dur_us"]
+        row["durs"].append(span["dur_us"])
         row["first_us"] = min(row["first_us"], span["start_us"])
         row["last_us"] = max(row["last_us"],
                              span["start_us"] + span["dur_us"])
@@ -277,12 +297,15 @@ def summarize_spans(spans: List[dict]) -> List[dict]:
             f"{tag}:{us:.0f}" for tag, us in
             sorted(row["tags"].items(), key=lambda kv: -kv[1])
         )
+        durs = sorted(row["durs"])
         rows.append({
             "track": name,
             "spans": row["spans"],
             "busy_us": row["busy_us"],
             "util": row["busy_us"] / span if span > 0 else 0.0,
             "window_us": span,
+            "p99_us": _nearest_rank(durs, 99.0),
+            "p999_us": _nearest_rank(durs, 99.9),
             "by_tag_us": tags,
         })
     return rows

@@ -96,6 +96,18 @@ class SnapshotRecorder:
         self._busy: Dict[int, Dict[str, float]] = {}
         self._counters: Dict[int, Dict[str, float]] = {}
         self._snapshots: Optional[List[UsageSnapshot]] = None
+        # Open-window caches for the two hook hot paths.  These hooks fire
+        # once per channel span / once per read plan — ~100k times in a
+        # short run — and simulated time only moves forward, so almost
+        # every call lands in the same window as the previous one.  The
+        # cached (lo, hi, dict) triple turns the common case into two
+        # float compares, no division and no index lookup.
+        self._span_lo = 0.0
+        self._span_hi = interval_us
+        self._span_busy = self._busy[0] = {}
+        self._cnt_lo = 0.0
+        self._cnt_hi = interval_us
+        self._cnt_per = self._counters[0] = {}
 
     # --- recording hooks --------------------------------------------------
 
@@ -103,19 +115,55 @@ class SnapshotRecorder:
                      end_us: float, label: Optional[str] = None) -> None:
         """Bin one occupancy/blocked interval, splitting across windows."""
         del resource, label
+        if start_us >= self._span_lo and end_us <= self._span_hi:
+            per = self._span_busy
+            per[tag] = per.get(tag, 0.0) + (end_us - start_us)
+            return
+        self._observe_span_slow(tag, start_us, end_us)
+
+    def _observe_span_slow(self, tag: str, start_us: float,
+                           end_us: float) -> None:
+        """Split a window-crossing span exactly, then move the cache to
+        the window holding its end (span ends arrive in event order)."""
+        interval = self.interval_us
+        busy = self._busy
         t = start_us
         while t < end_us:
-            index = int(t // self.interval_us)
-            edge = (index + 1) * self.interval_us
-            chunk_end = min(edge, end_us)
-            per = self._busy.setdefault(index, {})
+            index = int(t // interval)
+            edge = (index + 1) * interval
+            chunk_end = edge if edge < end_us else end_us
+            per = busy.get(index)
+            if per is None:
+                per = busy[index] = {}
             per[tag] = per.get(tag, 0.0) + (chunk_end - t)
             t = chunk_end
+        index = int(end_us // interval)
+        per = busy.get(index)
+        if per is None:
+            per = busy[index] = {}
+        self._span_lo = index * interval
+        self._span_hi = self._span_lo + interval
+        self._span_busy = per
 
     def note(self, name: str, t_us: float, value: float = 1) -> None:
         """Bin a counter increment (e.g. one page read, N host bytes)."""
-        per = self._counters.setdefault(int(t_us // self.interval_us), {})
+        per = self.window_counters(t_us)
         per[name] = per.get(name, 0.0) + value
+
+    def window_counters(self, t_us: float) -> Dict[str, float]:
+        """The mutable counter dict for ``t_us``'s window — lets a hook
+        that bins several counters at the same instant (per-plan
+        accounting does three) pay the window lookup once."""
+        if self._cnt_lo <= t_us < self._cnt_hi:
+            return self._cnt_per
+        index = int(t_us // self.interval_us)
+        per = self._counters.get(index)
+        if per is None:
+            per = self._counters[index] = {}
+        self._cnt_lo = index * self.interval_us
+        self._cnt_hi = self._cnt_lo + self.interval_us
+        self._cnt_per = per
+        return per
 
     # --- results ----------------------------------------------------------
 

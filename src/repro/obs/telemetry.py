@@ -90,14 +90,19 @@ def live_line(done: int, total: int, cached: int, failed: int,
     """One rewriting status line for a running campaign.
 
     The ETA extrapolates from *executed* (non-cached) cells only, since
-    cache hits are effectively free.
+    cache hits are effectively free.  On the first tick — nothing done
+    yet, or only cache hits, or a clock that has not advanced — there is
+    no basis for extrapolation, so the ETA is simply omitted instead of
+    dividing by zero (or by a negative count when a racing caller reports
+    a cache hit before bumping ``done``).
     """
-    executed = done - cached
-    remaining = total - done
-    if executed > 0 and remaining > 0:
+    executed = max(done - cached, 0)
+    remaining = max(total - done, 0)
+    if executed > 0 and remaining > 0 and elapsed_s > 0:
         eta = f" eta {format_duration(elapsed_s / executed * remaining)}"
     else:
         eta = ""
+    elapsed_s = max(elapsed_s, 0.0)
     bits = [f"[campaign {done}/{total}]"]
     if cached:
         bits.append(f"{cached} cached")

@@ -22,10 +22,17 @@ which cancels slow drift of the host machine.
 and fails (exit 1) if any benchmark's speedup dropped more than
 ``tolerance`` below the committed baseline's, or below the absolute floor
 for its kind (2.0x micro, 3.0x end-to-end, both tolerance-relaxed).
+
+The suite also carries a metrics-overhead guard (kind ``overhead``): the
+pinned fig.-17 cell run fully metered (registry scrape + fleet rollup +
+SLO evaluation, the per-cell cost of a campaign with ``--dashboard``)
+must stay within 5% of the unmetered run — a tolerance-exempt hard cap,
+so the observability plane stays cheap by construction.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import time
@@ -54,6 +61,13 @@ SCHEMA_VERSION = 1
 DEFAULT_TOLERANCE = 0.15
 MICRO_FLOOR = 2.0
 E2E_FLOOR = 3.0
+#: The metrics plane must stay passive in cost as well as in behaviour: a
+#: fully metered cell (snapshot recorder on + registry scrape) may run at
+#: most 5% slower than the unmetered run, i.e. its "speedup" ratio
+#: (unmetered / metered) must stay above 1/1.05.  This floor is exempt
+#: from ``tolerance`` — relaxing an overhead cap with the same knob that
+#: relaxes optimization floors would quietly licence slow metrics.
+OVERHEAD_FLOOR = 1.0 / 1.05
 #: The baseline-relative check only demands up to this multiple of the
 #: kind's floor.  Far above the floor, run-to-run noise scales with the
 #: ratio itself (a 30x memo-cache ratio swings several x between runs),
@@ -77,7 +91,7 @@ class BenchResult:
     """One benchmark's timings (seconds, per-side best-of-k) and ratio."""
 
     name: str
-    kind: str  # "micro" | "e2e"
+    kind: str  # "micro" | "e2e" | "overhead"
     optimized_s: float
     reference_s: float
 
@@ -93,7 +107,11 @@ class BenchResult:
 
     @property
     def floor(self) -> float:
-        return MICRO_FLOOR if self.kind == "micro" else E2E_FLOOR
+        if self.kind == "micro":
+            return MICRO_FLOOR
+        if self.kind == "overhead":
+            return OVERHEAD_FLOOR
+        return E2E_FLOOR
 
 
 def _interleaved_best(
@@ -241,6 +259,90 @@ def _bench_e2e_cell(workload: str, policy: str, pe: float,
     return BenchResult(name, "e2e", opt, ref)
 
 
+# --- metrics-overhead guard --------------------------------------------------------
+
+
+#: request count for the overhead guard — a shorter run than the speedup
+#: cells so ~24 alternating samples fit in a few seconds, which is what
+#: pins per-side floors tightly enough to resolve a 5% cap on a noisy
+#: shared host (the speedup benches only need to resolve 2-3x).
+OVERHEAD_N_REQUESTS = 3000
+
+
+def _bench_metrics_overhead(reps: int) -> BenchResult:
+    """Metered vs unmetered run of the pinned fig.-17 cell.
+
+    "Metered" is everything the fleet observability plane adds to a cell
+    in a campaign with rollups and a dashboard: a registry scrape of the
+    result, folding it into a :class:`~repro.obs.registry.FleetAggregator`,
+    and a full SLO evaluation of the rollup — all pull-based reads of
+    counters the simulation maintains anyway.  The ratio
+    (unmetered / metered) is gated against :data:`OVERHEAD_FLOOR`.  Both
+    sides run the same batched core on the same prebuilt trace, so the
+    ratio isolates the metering cost.  (The per-window
+    :class:`~repro.obs.snapshots.SnapshotRecorder` is *not* part of the
+    fleet default path — it is opt-in burn-rate analysis, and its
+    per-span hooks cost a few percent of a run when enabled.)
+
+    A 5% cap is far below the rep-to-rep scatter of a shared CI host
+    (±10% and more from scheduler contention), so this bench takes many
+    more samples than the speedup benches — short runs, strictly
+    alternating — and compares per-side *minima*: contention noise is
+    strictly additive, so the minimum over enough reps converges on each
+    side's true floor, while a real systematic overhead inflates every
+    metered sample and survives into the minimum.
+    """
+    from ..obs.registry import FleetAggregator, scrape_result
+    from ..obs.slo import default_slos, evaluate_fleet
+
+    workload, policy, pe = E2E_CELLS[0]
+    spec = RunSpec(workload=workload, policy=policy, pe_cycles=pe,
+                   n_requests=OVERHEAD_N_REQUESTS, seed=PIN_SEED)
+    trace = build_trace(spec)
+    slos = default_slos()
+
+    def metered() -> None:
+        result = execute(spec, trace)
+        scrape_result(result)
+        fleet = FleetAggregator()
+        fleet.observe(spec, result)
+        evaluate_fleet(fleet, slos)
+
+    def unmetered() -> None:
+        execute(spec, trace)
+
+    metered()  # warm both paths
+    unmetered()
+    # Keep the collector out of the timed regions: the metered side
+    # allocates more (registry, fleet, SLO reports), so with gc enabled
+    # its allocations preferentially *trigger* collections of whatever
+    # garbage the rest of the suite left behind, and the pause lands in
+    # the metered sample — a systematic bias, not an overhead.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    metered_s = unmetered_s = float("inf")
+    try:
+        for rep in range(max(6 * reps, 24)):
+            first, second = ((metered, unmetered) if rep % 2 == 0
+                             else (unmetered, metered))
+            t0 = time.perf_counter()
+            first()
+            t1 = time.perf_counter()
+            second()
+            t2 = time.perf_counter()
+            m, u = ((t1 - t0, t2 - t1) if first is metered
+                    else (t2 - t1, t1 - t0))
+            metered_s = min(metered_s, m)
+            unmetered_s = min(unmetered_s, u)
+            gc.collect()  # untimed, between pairs
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return BenchResult("metrics_overhead", "overhead",
+                       optimized_s=metered_s, reference_s=unmetered_s)
+
+
 # --- suite -------------------------------------------------------------------------
 
 
@@ -267,6 +369,10 @@ def run_suite(reps: int = 5, e2e_reps: int = 3,
             if progress:
                 progress(f"{result.name}: {result.speedup:.2f}x")
             results.append(result)
+        result = _bench_metrics_overhead(e2e_reps)
+        if progress:
+            progress(f"{result.name}: {result.speedup:.2f}x")
+        results.append(result)
     return results
 
 
@@ -327,6 +433,16 @@ def evaluate_gate(
     """
     verdicts: List[GateVerdict] = []
     for result in current:
+        if result.kind == "overhead":
+            # tolerance-exempt hard cap (see OVERHEAD_FLOOR)
+            verdicts.append(GateVerdict(
+                name=result.name,
+                speedup=result.speedup,
+                required=result.floor,
+                passed=result.speedup >= result.floor,
+                detail="overhead cap 1.05x",
+            ))
+            continue
         required = result.floor * (1.0 - tolerance)
         detail = f"floor {result.floor:.2f}x"
         if baseline and result.name in baseline:

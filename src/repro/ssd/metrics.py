@@ -109,6 +109,11 @@ class SimMetrics:
     retried_reads: int = 0
     in_die_retries: int = 0
     uncorrectable_transfers: int = 0
+    #: RP verdicts contradicted by the plan's outcome — predicted-clean
+    #: pages that went on to need a retry (a predicted-dirty verdict forces
+    #: the retry, so it can never be contradicted); only policies with a
+    #: read predictor (RPSSD / RiFSSD) ever increment it
+    rp_mispredicts: int = 0
     total_senses: int = 0
     gc_page_copies: int = 0
     disturb_relocations: int = 0
@@ -196,6 +201,28 @@ class SimMetrics:
         return self.total_senses / self.page_reads - 1.0
 
     # --- latency distribution ---------------------------------------------------------
+
+    def latency_summary(self) -> dict:
+        """The tail-story digest: p50/p99/p999 read latency plus count,
+        mean, and max.  ``None``-valued when no reads were recorded, so
+        reporters can emit the keys unconditionally."""
+        if self.read_latency_hist.count == 0 and not self.read_latencies_us:
+            return {"count": 0, "p50_us": None, "p99_us": None,
+                    "p999_us": None, "mean_us": None, "max_us": None}
+        count = (len(self.read_latencies_us) if self.read_latencies_us
+                 else self.read_latency_hist.count)
+        mean = (sum(self.read_latencies_us) / count
+                if self.read_latencies_us else self.read_latency_hist.mean())
+        peak = (max(self.read_latencies_us) if self.read_latencies_us
+                else self.read_latency_hist.max_us)
+        return {
+            "count": count,
+            "p50_us": self.read_latency_percentile(50.0),
+            "p99_us": self.read_latency_percentile(99.0),
+            "p999_us": self.read_latency_percentile(99.9),
+            "mean_us": mean,
+            "max_us": peak,
+        }
 
     def read_latency_percentile(self, q: float) -> float:
         """Nearest-rank read-latency percentile.

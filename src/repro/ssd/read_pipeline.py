@@ -355,7 +355,7 @@ class FastEcc:
     """
 
     __slots__ = ("sim", "name", "buffer_pages", "slots_in_use", "held_slots",
-                 "decoder", "_slot_waiters")
+                 "peak_slots_in_use", "decoder", "_slot_waiters")
 
     def __init__(self, sim, name: str, buffer_pages: int):
         if buffer_pages < 1:
@@ -365,8 +365,14 @@ class FastEcc:
         self.buffer_pages = buffer_pages
         self.slots_in_use = 0
         self.held_slots = 0
+        self.peak_slots_in_use = 0
         self.decoder = FastFifo(sim, f"{name}.decoder")
         self._slot_waiters: List[Callable[[], None]] = []
+
+    def _note_occupancy(self) -> None:
+        occupied = self.slots_in_use + self.held_slots
+        if occupied > self.peak_slots_in_use:
+            self.peak_slots_in_use = occupied
 
     def can_reserve(self) -> bool:
         return self.slots_in_use + self.held_slots < self.buffer_pages
@@ -375,11 +381,13 @@ class FastEcc:
         if not self.can_reserve():
             raise SimulationError(f"{self.name}: buffer overflow")
         self.slots_in_use += 1
+        self._note_occupancy()
 
     def hold_slots(self, n: int = 0) -> None:
         if n < 0:
             raise SimulationError(f"{self.name}: cannot hold {n} slots")
         self.held_slots = min(n or self.buffer_pages, self.buffer_pages)
+        self._note_occupancy()
 
     def release_held_slots(self) -> None:
         if self.held_slots == 0:

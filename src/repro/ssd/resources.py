@@ -194,10 +194,18 @@ class EccEngine:
         #: slots squatted by fault injection (ECC-buffer saturation bursts);
         #: they shrink the usable buffer without holding real pages
         self.held_slots = 0
+        #: high-water mark of occupied slots (real + held) — a passive
+        #: observability counter, never consulted by gating logic
+        self.peak_slots_in_use = 0
         self.decoder = SerialResource(sim, f"{name}.decoder")
         self._slot_waiters: List[Callable[[], None]] = []
 
     # --- buffer slots -------------------------------------------------------------
+
+    def _note_occupancy(self) -> None:
+        occupied = self.slots_in_use + self.held_slots
+        if occupied > self.peak_slots_in_use:
+            self.peak_slots_in_use = occupied
 
     def can_reserve(self) -> bool:
         return self.slots_in_use + self.held_slots < self.buffer_pages
@@ -206,6 +214,7 @@ class EccEngine:
         if not self.can_reserve():
             raise SimulationError(f"{self.name}: buffer overflow")
         self.slots_in_use += 1
+        self._note_occupancy()
 
     def hold_slots(self, n: int = 0) -> None:
         """Squat ``n`` buffer slots (0 = the whole buffer) so incoming
@@ -214,6 +223,7 @@ class EccEngine:
         if n < 0:
             raise SimulationError(f"{self.name}: cannot hold {n} slots")
         self.held_slots = min(n or self.buffer_pages, self.buffer_pages)
+        self._note_occupancy()
 
     def release_held_slots(self) -> None:
         """End a saturation burst and re-kick gated channels."""

@@ -502,12 +502,16 @@ class SSDSimulator:
         m.retried_reads += int(plan.retried)
         m.in_die_retries += int(plan.in_die_retry)
         m.uncorrectable_transfers += plan.uncorrectable_transfers
+        if plan.rp_predicted_retry is not None:
+            m.rp_mispredicts += int(plan.rp_predicted_retry != plan.retried)
         if self.snapshots is not None:
-            now = self.sim.now
-            self.snapshots.note("page_reads", now)
-            self.snapshots.note("senses", now, plan.senses)
+            # one window lookup for the whole plan — this runs per page
+            # read, so three separate note() calls are measurable
+            per = self.snapshots.window_counters(self.sim.now)
+            per["page_reads"] = per.get("page_reads", 0.0) + 1
+            per["senses"] = per.get("senses", 0.0) + plan.senses
             if plan.retried:
-                self.snapshots.note("retried_reads", now)
+                per["retried_reads"] = per.get("retried_reads", 0.0) + 1
 
     def _execute_plan(self, plan: ReadPlan, address: PageAddress,
                       state: _RequestState, label: str,
@@ -805,6 +809,16 @@ class SSDSimulator:
             cor=cor, uncor=uncor, write=write, gc=gc,
             eccwait=eccwait, idle=max(total - busy, 0.0),
         )
+
+    def scrape_metrics(self, registry=None, labels=None):
+        """Pull the run's metrics into a labeled registry
+        (:func:`repro.obs.registry.scrape_simulator`): SimMetrics counters
+        and latency histograms, per-channel busy/ECCWAIT time, decoder-
+        buffer occupancy, and the offline-die gauge.  Purely a read — a
+        scraped run stays bit-identical to an unscraped one."""
+        from ..obs.registry import scrape_simulator
+
+        return scrape_simulator(self, registry=registry, labels=labels)
 
     def export_chrome_trace(self, path, title: Optional[str] = None):
         """Write the run's trace as Chrome ``trace_event`` JSON (open in

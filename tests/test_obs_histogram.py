@@ -136,6 +136,55 @@ def test_simmetrics_histogram_fallback():
     assert cdf[-1][1] == pytest.approx(1.0)
 
 
+def test_merge_any_split_any_order_equals_whole():
+    """Property: any partition of a stream, merged in any order, equals
+    the single-stream histogram exactly (counts, extremes, to_dict)."""
+    import random as pyrandom
+
+    for seed in (0, 1, 2, 3, 4):
+        prng = pyrandom.Random(seed)
+        values = _samples(n=600, seed=seed + 100)
+        whole = LatencyHistogram()
+        for v in values:
+            whole.record(v)
+        n_parts = prng.randint(2, 7)
+        parts = [LatencyHistogram() for _ in range(n_parts)]
+        for v in values:
+            parts[prng.randrange(n_parts)].record(v)
+        prng.shuffle(parts)
+        merged = LatencyHistogram()
+        for part in parts:
+            merged.merge(part)
+        assert merged.counts == whole.counts
+        assert merged.count == whole.count
+        assert merged.min_us == whole.min_us
+        assert merged.max_us == whole.max_us
+        assert merged.underflow == whole.underflow
+        assert merged.overflow == whole.overflow
+        d_merged, d_whole = merged.to_dict(), whole.to_dict()
+        # sums accumulate in different orders; compare them approximately
+        # and everything else exactly
+        assert d_merged.pop("sum_us") == pytest.approx(d_whole.pop("sum_us"))
+        assert d_merged == d_whole
+
+
+@pytest.mark.parametrize("seed", [7, 21, 42])
+def test_percentiles_within_one_bucket_of_raw_reference(seed):
+    """Property: every bucketed percentile lands within one bucket width
+    (a factor of 10**(1/64)) of the sorted-raw nearest-rank value."""
+    values = _samples(n=3000, seed=seed)
+    hist = LatencyHistogram()
+    for v in values:
+        hist.record(v)
+    ordered = sorted(values)
+    width = 10 ** (1 / hist.buckets_per_decade)
+    for q in (1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9):
+        exact = percentile(ordered, q)
+        approx = hist.percentile(q)
+        assert exact / width <= approx * (1 + 1e-12)
+        assert approx <= exact * width * (1 + 1e-12)
+
+
 def test_record_is_constant_memory():
     hist = LatencyHistogram()
     for v in _samples(n=4000):

@@ -1,0 +1,176 @@
+"""Labeled metric registry: family semantics, exact commutative merges,
+JSON round-trips, and passive scrapes that reconcile with SimMetrics."""
+
+import random as pyrandom
+
+import pytest
+
+from repro.campaign.spec import RunSpec, build_simulator, build_trace
+from repro.errors import ConfigError
+from repro.obs.registry import (
+    MetricRegistry,
+    reconcile_with_metrics,
+    scrape_result,
+    scrape_simulator,
+)
+
+SPEC = RunSpec(workload="Ali124", policy="RiFSSD", pe_cycles=2000.0,
+               n_requests=120, seed=7)
+
+
+def _run_cell(spec=SPEC):
+    ssd = build_simulator(spec)
+    result = ssd.run_trace(build_trace(spec), mode="closed",
+                           queue_depth=spec.resolved_sizing().queue_depth)
+    return ssd, result
+
+
+# --- family semantics ------------------------------------------------------
+
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricRegistry()
+    reads = reg.counter("reads_total", "pages read", ("policy",))
+    reads.labels(policy="RiF").inc(3)
+    reads.labels(policy="RiF").inc()
+    reads.labels(policy="SENC").inc(2)
+    assert reg.value("reads_total", policy="RiF") == 4
+    assert reads.total() == 6
+    assert reg.label_values("reads_total", "policy") == ["RiF", "SENC"]
+
+    depth = reg.gauge("queue_depth")
+    depth.set(16)
+    depth.set(8)
+    assert reg.value("queue_depth") == 8
+
+    lat = reg.histogram("latency_us", "", ("policy",))
+    for v in (50.0, 80.0, 1000.0):
+        lat.labels(policy="RiF").observe(v)
+    assert reg.hist("latency_us", policy="RiF").count == 3
+    # absent series read as 0 / None, never KeyError
+    assert reg.value("reads_total", policy="nope") == 0.0
+    assert reg.hist("latency_us", policy="nope") is None
+    assert reg.get("never_registered") is None
+
+
+def test_registry_rejects_misuse():
+    reg = MetricRegistry()
+    counter = reg.counter("c_total", "", ("policy",))
+    with pytest.raises(ConfigError):
+        counter.inc(-1)  # counters only go up
+    with pytest.raises(ConfigError):
+        counter.labels(wrong="x")  # label names must match exactly
+    with pytest.raises(ConfigError):
+        counter.labels()  # missing required label
+    with pytest.raises(ConfigError):
+        reg.gauge("c_total")  # kind change on re-register
+    with pytest.raises(ConfigError):
+        reg.counter("c_total", "", ("other",))  # label-set change
+    with pytest.raises(ConfigError):
+        reg.counter("bad name")
+    with pytest.raises(ConfigError):
+        reg.counter("ok_total", "", ("bad label",))
+    # idempotent re-register with the same shape is fine
+    assert reg.counter("c_total", "", ("policy",)) is counter
+
+
+def test_merge_is_commutative_and_exact():
+    prng = pyrandom.Random(11)
+
+    def random_registry(seed):
+        r = pyrandom.Random(seed)
+        reg = MetricRegistry()
+        c = reg.counter("events_total", "", ("kind",))
+        g = reg.gauge("level")
+        h = reg.histogram("lat_us", "", ("kind",))
+        for _ in range(r.randint(5, 40)):
+            kind = r.choice("abc")
+            c.labels(kind=kind).inc(r.randint(1, 9))
+            g.inc(r.randint(1, 5))
+            h.labels(kind=kind).observe(10 ** r.uniform(0, 4))
+        return reg
+
+    seeds = [prng.randint(0, 10**6) for _ in range(5)]
+    forward = MetricRegistry()
+    for s in seeds:
+        forward.merge(random_registry(s))
+    backward = MetricRegistry()
+    for s in reversed(seeds):
+        backward.merge(random_registry(s))
+    f, b = forward.to_dict(), backward.to_dict()
+    # histogram sum_us accumulates float observations in different orders,
+    # so compare it approximately and everything else (counts, extremes,
+    # counter/gauge values — all integer arithmetic here) exactly
+    assert _pop_sums(f) == pytest.approx(_pop_sums(b))
+    assert f == b
+
+
+def _pop_sums(payload):
+    sums = []
+    for family in payload["families"]:
+        for child in family["children"]:
+            if "hist" in child:
+                sums.append(child["hist"].pop("sum_us"))
+    return sums
+
+
+def test_registry_json_roundtrip():
+    reg = MetricRegistry()
+    reg.counter("a_total", "help text", ("x", "y")).labels(x="1", y="2").inc(5)
+    reg.gauge("g").set(3.5)
+    reg.histogram("h_us").observe(123.0)
+    data = reg.to_dict()
+    back = MetricRegistry.from_dict(data)
+    assert back.to_dict() == data
+    assert back.value("a_total", x="1", y="2") == 5
+    assert back.hist("h_us").count == 1
+
+
+# --- scrapes ---------------------------------------------------------------
+
+
+def test_scrape_simulator_reconciles_with_metrics():
+    ssd, _result = _run_cell()
+    reg = scrape_simulator(ssd)
+    assert reconcile_with_metrics(reg, ssd.metrics) == []
+    # the per-hop retry split covers the controller total
+    assert reg.value("ssd_retries_total", hop="controller") == \
+        ssd.metrics.retried_reads
+    assert reg.value("ssd_page_reads_total") == ssd.metrics.page_reads
+    # per-channel ECC occupancy gauges exist for every channel
+    channels = reg.label_values("ssd_ecc_buffer_peak_slots", "channel")
+    assert channels  # at least one channel scraped
+    assert all(reg.value("ssd_ecc_buffer_peak_slots", channel=c) >= 0
+               for c in channels)
+
+
+def test_scrape_result_channel_time_taxonomy():
+    _ssd, result = _run_cell()
+    reg = scrape_result(result)
+    tags = set(reg.label_values("ssd_channel_time_us_total", "tag"))
+    assert {"COR", "IDLE"} <= tags  # reads + idle always present
+    assert reg.value("ssd_page_reads_total") == result.metrics.page_reads
+
+
+def test_scrape_is_passive_and_repeatable():
+    """Scraping twice must not change the simulator, and labeled scrapes
+    of the same run into two registries agree exactly."""
+    ssd, _result = _run_cell()
+    before = ssd.metrics.to_dict()
+    a = scrape_simulator(ssd, labels={"policy": "RiFSSD"})
+    b = scrape_simulator(ssd, labels={"policy": "RiFSSD"})
+    assert ssd.metrics.to_dict() == before
+    assert a.to_dict() == b.to_dict()
+
+
+def test_rp_mispredicts_counted_for_prediction_policies():
+    """Only policies that predict (RPSSD/RiFSSD) can expose mispredicts;
+    SENC never sets a prediction so its counter stays zero."""
+    senc_spec = RunSpec(workload="Ali124", policy="SENC", pe_cycles=2000.0,
+                        n_requests=120, seed=7)
+    ssd_senc, _ = _run_cell(senc_spec)
+    assert ssd_senc.metrics.rp_mispredicts == 0
+    ssd_rif, _ = _run_cell()
+    reg = scrape_simulator(ssd_rif)
+    assert reg.value("ssd_rp_mispredicts_total") == \
+        ssd_rif.metrics.rp_mispredicts

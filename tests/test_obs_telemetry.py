@@ -99,6 +99,23 @@ def test_live_line_contents():
     assert "eta" not in live_line(2, 10, cached=2, failed=0, elapsed_s=1.0)
 
 
+def test_live_line_first_tick_and_degenerate_inputs():
+    """The very first repaint (nothing done, clock barely started) must
+    render without dividing by zero and without a bogus ETA."""
+    line = live_line(done=0, total=10, cached=0, failed=0, elapsed_s=0.0)
+    assert "[campaign 0/10]" in line
+    assert "eta" not in line
+    # all completions from cache: no executed-cell rate to extrapolate
+    assert "eta" not in live_line(3, 10, cached=3, failed=0, elapsed_s=5.0)
+    # zero and (clock-skew) negative elapsed never crash or emit an ETA
+    assert "eta" not in live_line(5, 10, cached=0, failed=0, elapsed_s=0.0)
+    line = live_line(5, 10, cached=0, failed=0, elapsed_s=-0.5)
+    assert "eta" not in line
+    assert "0.00s" in line  # clamped duration, no "-0.50s"
+    # everything done: nothing remaining, ETA omitted
+    assert "eta" not in live_line(10, 10, cached=2, failed=0, elapsed_s=9.0)
+
+
 def test_live_line_writer():
     buf = io.StringIO()
     writer = LiveLineWriter(buf)

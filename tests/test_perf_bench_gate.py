@@ -12,6 +12,7 @@ from repro.perf.bench_gate import (
     DEFAULT_TOLERANCE,
     E2E_FLOOR,
     MICRO_FLOOR,
+    OVERHEAD_FLOOR,
     BenchResult,
     evaluate_gate,
     format_verdicts,
@@ -78,6 +79,26 @@ def test_new_benchmark_without_baseline_entry_uses_floor():
                             baseline)[0]
     assert verdict.passed
     assert "floor" in verdict.detail
+
+
+def test_overhead_kind_is_a_tolerance_exempt_hard_cap():
+    # the metrics-overhead guard: metered/unmetered ratio may not fall
+    # below 1/1.05 no matter how generous --tolerance is, and a baseline
+    # entry must not tighten or loosen it either
+    baseline = {"metrics_overhead": {"speedup": 1.0}}
+    ok = evaluate_gate([_result("metrics_overhead", "overhead", 0.99)],
+                       baseline, tolerance=0.5)[0]
+    assert ok.passed
+    assert ok.required == pytest.approx(OVERHEAD_FLOOR)
+    bad = evaluate_gate([_result("metrics_overhead", "overhead", 0.90)],
+                        baseline, tolerance=0.5)[0]
+    assert not bad.passed
+    assert bad.required == pytest.approx(OVERHEAD_FLOOR)
+    assert "overhead" in bad.detail
+    # boundary: exactly at the cap passes
+    at_cap = evaluate_gate(
+        [_result("metrics_overhead", "overhead", OVERHEAD_FLOOR)], None)[0]
+    assert at_cap.passed
 
 
 def test_format_verdicts_mentions_failures():
