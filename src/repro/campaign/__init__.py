@@ -10,11 +10,17 @@ that structure explicit:
 * :mod:`.spec` — :class:`RunSpec`, a frozen value describing one run, with
   a stable content hash and builders that rebuild trace + simulator from
   the spec alone;
-* :mod:`.executor` — :class:`SerialExecutor` / :class:`ParallelExecutor`
-  and the :func:`run_specs` orchestrator (``jobs=N`` gives bit-identical
-  results to ``jobs=1``); the parallel executor survives worker crashes,
-  hangs (``cell_timeout_s``) and deterministic cell errors, turning them
-  into per-cell :class:`CellFailure` records under ``on_failure="record"``;
+* :mod:`.scheduler` — :class:`JobScheduler`, the async job queue every
+  campaign executes through (submit/poll/stream/cancel, priorities,
+  ``max_in_flight`` backpressure, deterministic ordering), plus
+  :func:`run_campaign`, the one shared replay/execute/observe driver
+  behind both :func:`run_specs` and :func:`run_specs_durable`;
+* :mod:`.executor` — :class:`SerialExecutor` / :class:`ParallelExecutor`,
+  the scheduler backends (``jobs=N`` gives bit-identical results to
+  ``jobs=1``), and the :func:`run_specs` entry point; the parallel
+  executor survives worker crashes, hangs (``cell_timeout_s``) and
+  deterministic cell errors, turning them into per-cell
+  :class:`CellFailure` records under ``on_failure="record"``;
 * :mod:`.cache` — :class:`ResultCache`, a content-addressed on-disk store
   (spec hash -> result JSON) that skips already-computed cells, with
   atomic fsync'd writes, checksummed reads, and quarantine of damaged
@@ -46,6 +52,12 @@ from .executor import (
     SerialExecutor,
     make_executor,
     run_specs,
+)
+from .scheduler import (
+    JOB_STATES,
+    Job,
+    JobScheduler,
+    run_campaign,
 )
 from .progress import (
     CampaignStats,
@@ -84,6 +96,10 @@ __all__ = [
     "ParallelExecutor",
     "CellFailure",
     "make_executor",
+    "Job",
+    "JobScheduler",
+    "JOB_STATES",
+    "run_campaign",
     "run_specs",
     "run_specs_durable",
     "ResultCache",

@@ -45,14 +45,13 @@ import os
 import signal
 import socket
 import threading
-import time
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import CampaignInterrupted, ConfigError, LedgerError
+from ..errors import ConfigError, LedgerError
 from ..faults import CAMPAIGN_FAULT_KINDS, FaultPlan, FaultSpec
 from ..obs.telemetry import wall_clock
 from ..ssd import SimulationResult
@@ -498,6 +497,7 @@ def run_specs_durable(
     campaign_faults: "FaultPlan | dict | None" = None,
     fsync: bool = True,
     fleet=None,
+    max_in_flight: Optional[int] = None,
 ):
     """The ledger-backed body of :func:`~repro.campaign.executor.run_specs`
     (which delegates here whenever ``ledger_dir`` is given).
@@ -505,10 +505,14 @@ def run_specs_durable(
     Every completed cell is journaled ``claim`` → (cache write) → ``done``
     in write-ahead order, so a SIGKILL between any two instructions leaves
     a journal the next invocation recovers from: the worst case re-runs
-    exactly the in-flight cells.  See the module docstring for the full
-    contract.
+    exactly the in-flight cells.  Structurally this is
+    :func:`~repro.campaign.scheduler.run_campaign` with the ledger wired
+    into its hooks: ``replay`` serves ledger/cache state, ``on_fresh``
+    journals completions (and fires the chaos windows), ``on_claim``
+    journals claims.  See the module docstring for the full contract.
     """
-    from .executor import CellFailure, make_executor
+    from .executor import CellFailure
+    from .scheduler import JobScheduler, run_campaign
 
     if ledger_dir is None:
         raise ConfigError("run_specs_durable requires ledger_dir")
@@ -521,121 +525,73 @@ def run_specs_durable(
     unique: List[RunSpec] = list(dict.fromkeys(specs))
     ledger = RunLedger(ledger_root, unique, lease_s=lease_s, fsync=fsync)
 
-    started = time.perf_counter()
-    results: Dict[RunSpec, object] = {}
-    to_run: List[RunSpec] = []
-    executed = 0
-    replayed = 0
+    def replay(spec: RunSpec):
+        """Ledger/cache disposition of one cell: a replayed outcome, or
+        ``None`` to (re)compute it."""
+        cell = spec.content_hash()
+        state = ledger.state(cell)
+        if state == FAILED and on_failure == "record":
+            # round-trip the journaled failure; ledger records carry the
+            # to_dict fields plus journal framing from_dict ignores
+            return CellFailure.from_dict({
+                "label": spec.label(), **ledger.failures[cell],
+                "spec_hash": cell,
+            })
+        if state == CLAIMED and ledger.claim_disposition(cell) == "live":
+            claim = ledger.claims[cell]
+            raise LedgerError(
+                f"cell {cell[:12]}... is claimed by a live campaign "
+                f"(pid {claim.get('pid')} on {claim.get('host')}, lease "
+                f"{claim.get('lease_s', lease_s):g}s); two campaigns "
+                "must not share one ledger concurrently"
+            )
+        # DONE replays from the cache; a lost/quarantined entry (or a
+        # cache that learned the cell before the ledger did) falls
+        # through to the heal/recompute path.
+        hit = cache.get(spec)
+        if hit is not None and ledger.state(cell) != DONE:
+            ledger.done(spec)  # heal: cache knew, journal did not
+        return hit
 
-    def _report_replay(spec: RunSpec, outcome) -> None:
-        nonlocal replayed
-        replayed += 1
-        if fleet is not None:
-            fleet.observe(spec, outcome, cached=True)
-        if progress is not None:
-            progress.on_result(spec, outcome, 0.0, cached=True)
-
-    if progress is not None:
-        progress.on_start(len(unique))
-    try:
-        for spec in unique:
-            cell = spec.content_hash()
-            state = ledger.state(cell)
-            if state == FAILED and on_failure == "record":
-                record = ledger.failures[cell]
-                failure = CellFailure(
-                    spec_hash=cell,
-                    label=record.get("label", spec.label()),
-                    kind=record.get("kind", "error"),
-                    message=record.get("message", ""),
-                    attempts=record.get("attempts", 1),
-                )
-                results[spec] = failure
-                _report_replay(spec, failure)
-                continue
-            if state == CLAIMED and ledger.claim_disposition(cell) == "live":
-                claim = ledger.claims[cell]
-                raise LedgerError(
-                    f"cell {cell[:12]}... is claimed by a live campaign "
-                    f"(pid {claim.get('pid')} on {claim.get('host')}, lease "
-                    f"{claim.get('lease_s', lease_s):g}s); two campaigns "
-                    "must not share one ledger concurrently"
-                )
-            # DONE replays from the cache; a lost/quarantined entry (or a
-            # cache that learned the cell before the ledger did) falls
-            # through to the heal/recompute path below.
-            hit = cache.get(spec)
-            if hit is not None:
-                results[spec] = hit
-                if state != DONE:
-                    ledger.done(spec)  # heal: cache knew, journal did not
-                _report_replay(spec, hit)
-                continue
-            to_run.append(spec)
-
-        if to_run:
-            def report(spec: RunSpec, outcome, elapsed: float) -> None:
-                nonlocal executed
-                if isinstance(outcome, SimulationResult):
-                    index = driver.next_completion()
-                    fraction = driver.torn_fraction(index)
-                    if fraction is not None:
-                        cache.torn_write_hook = lambda _s, _t: fraction
-                    try:
-                        cache.put(spec, outcome)
-                    finally:
-                        cache.torn_write_hook = None
-                    window = driver.kill_window(index)
-                    if window == "pre_ledger":  # pragma: no cover - dies
-                        driver.kill()
-                    ledger.done(spec)
-                    if window == "post_ledger":  # pragma: no cover - dies
-                        driver.kill()
-                else:
-                    ledger.failed(spec, outcome)
-                executed += 1
-                if progress is not None:
-                    progress.on_result(spec, outcome, elapsed, cached=False)
-
-            executor = make_executor(jobs, cell_timeout_s=cell_timeout_s,
-                                     max_cell_retries=max_cell_retries,
-                                     on_failure=on_failure)
-            with deliver_termination_as_interrupt():
-                results.update(executor.map(to_run, report,
-                                            on_claim=ledger.claim))
-            # spec order, not completion order — keeps fleet float sums
-            # bit-identical between serial and parallel runs (see
-            # run_specs)
-            if fleet is not None:
-                for spec in to_run:
-                    fleet.observe(spec, results[spec], cached=False)
-
-        ledger.finish(executed=executed, cached=replayed)
-        if progress is not None:
-            progress.on_finish(time.perf_counter() - started)
-        return {spec: results[spec] for spec in unique}
-    except KeyboardInterrupt as exc:  # includes CampaignInterrupted
-        partial = dict(results)
-        if isinstance(exc, CampaignInterrupted):
-            partial.update(exc.results)
-            # the executor's message already names the reason and counts
-            message = str(exc)
+    def on_fresh(spec: RunSpec, outcome) -> None:
+        if isinstance(outcome, SimulationResult):
+            index = driver.next_completion()
+            fraction = driver.torn_fraction(index)
+            if fraction is not None:
+                cache.torn_write_hook = lambda _s, _t: fraction
+            try:
+                cache.put(spec, outcome)
+            finally:
+                cache.torn_write_hook = None
+            window = driver.kill_window(index)
+            if window == "pre_ledger":  # pragma: no cover - dies
+                driver.kill()
+            ledger.done(spec)
+            if window == "post_ledger":  # pragma: no cover - dies
+                driver.kill()
         else:
-            detail = str(exc)
-            message = (f"campaign interrupted{f' ({detail})' if detail else ''} "
-                       f"with {len(partial)} of {len(unique)} cells finished")
-        ledger.interrupt(message)
-        if progress is not None:
-            progress.on_interrupt(message)
-        raise CampaignInterrupted(
-            message,
-            results=partial,
+            ledger.failed(spec, outcome)
+
+    scheduler = JobScheduler(jobs=jobs, cell_timeout_s=cell_timeout_s,
+                             max_cell_retries=max_cell_retries,
+                             on_failure=on_failure,
+                             max_in_flight=max_in_flight)
+    try:
+        return run_campaign(
+            scheduler, unique,
+            replay=replay, on_fresh=on_fresh, on_claim=ledger.claim,
+            progress=progress, fleet=fleet,
+            execution_guard=deliver_termination_as_interrupt,
+            catch_signals=True,
+            on_interrupt=ledger.interrupt,
+            on_finish=lambda executed, replayed: ledger.finish(
+                executed=executed, cached=replayed),
             resume_hint=(
                 "re-run the identical grid with "
                 f"ledger_dir={str(ledger_root)!r} to resume; finished "
                 "cells replay from the ledger without recomputation"
             ),
-        ) from None
+        )
     finally:
         ledger.close()
 

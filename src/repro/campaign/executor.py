@@ -82,6 +82,24 @@ class CellFailure:
             "attempts": self.attempts,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellFailure":
+        """Rebuild a failure from :meth:`to_dict` output (or a superset of
+        it, e.g. a ledger ``failed`` record or a telemetry event — unknown
+        keys are ignored, optional fields default)."""
+        if "spec_hash" not in data:
+            raise ConfigError(
+                "CellFailure.from_dict requires a 'spec_hash' field; got "
+                f"keys {sorted(data)}"
+            )
+        return cls(
+            spec_hash=data["spec_hash"],
+            label=data.get("label", ""),
+            kind=data.get("kind", "error"),
+            message=data.get("message", ""),
+            attempts=int(data.get("attempts", 1)),
+        )
+
 
 CellOutcome = Union[SimulationResult, CellFailure]
 
@@ -551,6 +569,8 @@ def run_specs(
     lease_s: float = 900.0,
     campaign_faults=None,
     fleet=None,
+    max_in_flight: Optional[int] = None,
+    fsync: bool = True,
 ) -> Dict[RunSpec, CellOutcome]:
     """Execute a campaign: cache lookup, (parallel) execution, cache fill.
 
@@ -576,11 +596,15 @@ def run_specs(
 
     With a ``fleet`` (:class:`~repro.obs.registry.FleetAggregator`), every
     cell outcome — fresh, cached, or ledger-replayed — is folded into the
-    cross-cell metric rollup.  Fresh cells are observed in *spec order*
-    after the executor returns (not in completion order), so serial and
-    ``jobs=N`` runs accumulate floating-point sums in exactly the same
-    sequence: the resulting fleet aggregates are bit-identical, not just
-    commutatively equivalent.
+    cross-cell metric rollup in one pass in *spec order* after execution
+    (never in completion or replay order), so serial vs ``jobs=N`` runs
+    and resumed vs uninterrupted runs accumulate floating-point sums in
+    exactly the same sequence: the resulting fleet aggregates are
+    bit-identical, not just commutatively equivalent.
+
+    ``max_in_flight`` bounds how many cells one scheduler wave may hand
+    the executor at once (backpressure for very large grids); ``None``
+    runs everything in a single wave.  Results are identical either way.
     """
     if ledger_dir is not None:
         from .durable import run_specs_durable
@@ -589,62 +613,32 @@ def run_specs(
             specs, jobs=jobs, cache=cache, progress=progress,
             cell_timeout_s=cell_timeout_s, max_cell_retries=max_cell_retries,
             on_failure=on_failure, ledger_dir=ledger_dir, lease_s=lease_s,
-            campaign_faults=campaign_faults, fleet=fleet,
+            campaign_faults=campaign_faults, fsync=fsync, fleet=fleet,
+            max_in_flight=max_in_flight,
         )
+    from .scheduler import JobScheduler, run_campaign
+
     if campaign_faults is not None:
         raise ConfigError("campaign_faults requires ledger_dir (the durable "
                           "runtime is what consumes them)")
     if cache is not None and not isinstance(cache, ResultCache):
-        cache = ResultCache(cache)
-    unique: List[RunSpec] = list(dict.fromkeys(specs))
-    started = time.perf_counter()
-    if progress is not None:
-        progress.on_start(len(unique))
+        cache = ResultCache(cache, fsync=fsync)
 
-    results: Dict[RunSpec, CellOutcome] = {}
-    to_run: List[RunSpec] = []
-    for spec in unique:
-        hit = cache.get(spec) if cache is not None else None
-        if hit is not None:
-            results[spec] = hit
-            if fleet is not None:
-                fleet.observe(spec, hit, cached=True)
-            if progress is not None:
-                progress.on_result(spec, hit, 0.0, cached=True)
-        else:
-            to_run.append(spec)
+    replay = cache.get if cache is not None else None
 
-    if to_run:
-        def report(spec: RunSpec, outcome: CellOutcome,
-                   elapsed: float) -> None:
-            if cache is not None and isinstance(outcome, SimulationResult):
-                cache.put(spec, outcome)
-            if progress is not None:
-                progress.on_result(spec, outcome, elapsed, cached=False)
+    def on_fresh(spec: RunSpec, outcome: CellOutcome) -> None:
+        if isinstance(outcome, SimulationResult):
+            cache.put(spec, outcome)
 
-        executor = make_executor(jobs, cell_timeout_s=cell_timeout_s,
-                                 max_cell_retries=max_cell_retries,
-                                 on_failure=on_failure)
-        try:
-            results.update(executor.map(to_run, report))
-            # observed in spec order, not completion order: parallel runs
-            # would otherwise fold float sums in a nondeterministic order
-            if fleet is not None:
-                for spec in to_run:
-                    fleet.observe(spec, results[spec], cached=False)
-        except CampaignInterrupted as exc:
-            # merge cache hits into the executor's partial mapping so the
-            # caller sees everything that is actually known
-            merged = dict(results)
-            merged.update(exc.results)
-            if progress is not None:
-                progress.on_interrupt(str(exc))
-            raise CampaignInterrupted(
-                str(exc), results=merged,
-                resume_hint="re-run with a --cache (or --ledger) directory "
-                            "to keep finished cells",
-            ) from None
-
-    if progress is not None:
-        progress.on_finish(time.perf_counter() - started)
-    return {spec: results[spec] for spec in unique}
+    scheduler = JobScheduler(jobs=jobs, cell_timeout_s=cell_timeout_s,
+                             max_cell_retries=max_cell_retries,
+                             on_failure=on_failure,
+                             max_in_flight=max_in_flight)
+    return run_campaign(
+        scheduler, specs,
+        replay=replay,
+        on_fresh=on_fresh if cache is not None else None,
+        progress=progress, fleet=fleet,
+        resume_hint="re-run with a --cache (or --ledger) directory "
+                    "to keep finished cells",
+    )

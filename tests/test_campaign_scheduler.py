@@ -1,0 +1,355 @@
+"""Job scheduler: submit/poll/stream/cancel, waves, and equivalence.
+
+The scheduler is the single execution path behind every campaign entry
+point, so these tests pin two different things: the queue semantics
+themselves (deterministic priority ordering, backpressure wave caps,
+cancellation windows, interrupt restating) against a recording fake
+backend, and the refactor's prime directive — that routing through the
+scheduler changes *no result bit* (serial vs pool, capped vs uncapped
+waves, ledger replay through the new backend).
+"""
+
+import socket
+
+import pytest
+
+from repro.campaign import (
+    CampaignStats,
+    CellFailure,
+    JobScheduler,
+    RunLedger,
+    RunSpec,
+    run_campaign,
+    run_specs,
+)
+from repro.campaign.durable import LEDGER_FILENAME, encode_record
+from repro.campaign.scheduler import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_PENDING,
+)
+from repro.campaign.serialize import result_to_dict
+from repro.errors import (
+    CampaignExecutionError,
+    CampaignInterrupted,
+    ConfigError,
+)
+
+FAST = dict(n_requests=60, user_pages=2000, queue_depth=16)
+
+
+def _spec(seed=3, **overrides) -> RunSpec:
+    base = dict(workload="Ali124", policy="SWR", pe_cycles=1000.0, seed=seed,
+                **FAST)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class RecordingBackend:
+    """Fake backend: finishes every cell instantly, recording the waves it
+    was handed (the scheduler's observable scheduling decisions)."""
+
+    def __init__(self, hook=None, outcome=None):
+        self.waves = []
+        self.claimed = []
+        self.hook = hook          # hook(spec) runs before a cell "executes"
+        self.outcome = outcome or (lambda spec: f"ran:{spec.seed}")
+
+    def map(self, specs, report, on_claim):
+        self.waves.append(list(specs))
+        out = {}
+        for spec in specs:
+            if self.hook is not None:
+                self.hook(spec)
+            if on_claim is not None:
+                on_claim(spec)
+                self.claimed.append(spec)
+            out[spec] = self.outcome(spec)
+            if report is not None:
+                report(spec, out[spec], 0.0)
+        return out
+
+
+# --- queue semantics ----------------------------------------------------------------
+
+
+def test_submit_poll_run_results_in_submission_order():
+    backend = RecordingBackend()
+    sched = JobScheduler(backend)
+    specs = [_spec(seed=s) for s in (5, 3, 9)]
+    ids = sched.submit_many(specs)
+    assert [sched.poll(i) for i in ids] == [JOB_PENDING] * 3
+    results = sched.run()
+    assert [sched.poll(i) for i in ids] == [JOB_DONE] * 3
+    # keyed in submission order regardless of completion order
+    assert list(results) == specs
+    assert results[specs[1]] == "ran:3"
+
+
+def test_submit_dedupes_by_spec_and_promotes_priority():
+    sched = JobScheduler(RecordingBackend())
+    a = sched.submit(_spec(seed=1), priority=1)
+    b = sched.submit(_spec(seed=1), priority=5)  # same cell
+    assert a == b
+    assert sched.job(a).priority == 5
+    assert sched.submit(_spec(seed=1), priority=2) == a  # never demoted
+    assert sched.job(a).priority == 5
+    # a cancelled job's spec may be resubmitted as a fresh job
+    assert sched.cancel(a)
+    c = sched.submit(_spec(seed=1))
+    assert c != a
+    assert sched.poll(c) == JOB_PENDING
+
+
+def test_waves_follow_priority_then_submission_order():
+    backend = RecordingBackend()
+    sched = JobScheduler(backend, max_in_flight=1)
+    low, mid, high = _spec(seed=1), _spec(seed=2), _spec(seed=3)
+    sched.submit(low, priority=0)
+    sched.submit(mid, priority=1)
+    sched.submit(high, priority=9)
+    sched.submit(_spec(seed=4), priority=1)  # ties with mid, later seq
+    sched.run()
+    assert backend.waves == [[high], [mid], [_spec(seed=4)], [low]]
+
+
+def test_max_in_flight_caps_every_wave():
+    backend = RecordingBackend()
+    sched = JobScheduler(backend, max_in_flight=2)
+    sched.submit_many([_spec(seed=s) for s in range(5)])
+    sched.run()
+    assert [len(wave) for wave in backend.waves] == [2, 2, 1]
+    # uncapped: the pre-scheduler behaviour, one wave runs everything
+    backend2 = RecordingBackend()
+    sched2 = JobScheduler(backend2)
+    sched2.submit_many([_spec(seed=s) for s in range(5)])
+    sched2.run()
+    assert [len(wave) for wave in backend2.waves] == [5]
+
+
+def test_max_in_flight_must_be_positive():
+    with pytest.raises(ConfigError, match="max_in_flight"):
+        JobScheduler(RecordingBackend(), max_in_flight=0)
+
+
+def test_cancel_pending_job_never_executes():
+    backend = RecordingBackend()
+    sched = JobScheduler(backend)
+    keep = sched.submit(_spec(seed=1))
+    drop = sched.submit(_spec(seed=2))
+    assert sched.cancel(drop)
+    assert sched.poll(drop) == JOB_CANCELLED
+    results = sched.run()
+    assert list(results) == [_spec(seed=1)]
+    assert backend.waves == [[_spec(seed=1)]]
+    assert sched.poll(keep) == JOB_DONE
+    # terminal and cancelled jobs refuse further transitions quietly
+    assert not sched.cancel(keep)
+    assert not sched.cancel(drop)
+
+
+def test_cancel_mid_flight_from_report_callback():
+    """A consumer reacting to early results can cancel queued work: with
+    wave size 1, cancelling a later pending job from the report callback
+    keeps it out of every subsequent wave."""
+    sched = JobScheduler(RecordingBackend(), max_in_flight=1)
+    ids = sched.submit_many([_spec(seed=s) for s in range(4)])
+    cancelled = []
+
+    def report(spec, outcome, elapsed):
+        if spec.seed == 0 and sched.cancel(ids[2]):
+            cancelled.append(ids[2])
+
+    results = sched.run(report)
+    assert cancelled == [ids[2]]
+    assert sched.poll(ids[2]) == JOB_CANCELLED
+    assert [s.seed for s in results] == [0, 1, 3]
+
+
+def test_cancel_running_job_is_refused():
+    """Once a wave hands a cell to the backend it must complete — results
+    stay deterministic because cancellation can't race execution."""
+    sched = JobScheduler(None)
+    refused = []
+
+    def hook(spec):
+        refused.append(sched.cancel(job_id))
+
+    sched.backend = RecordingBackend(hook=hook)
+    job_id = sched.submit(_spec(seed=1))
+    sched.run()
+    assert refused == [False]
+    assert sched.poll(job_id) == JOB_DONE
+
+
+def test_resolve_replays_without_executing():
+    backend = RecordingBackend()
+    sched = JobScheduler(backend)
+    job_id = sched.submit(_spec(seed=1))
+    sched.resolve(job_id, "from-cache")
+    assert sched.job(job_id).cached
+    assert sched.run() == {_spec(seed=1): "from-cache"}
+    assert backend.waves == []  # nothing left to execute
+    with pytest.raises(ConfigError, match="already done"):
+        sched.resolve(job_id, "again")
+
+
+def test_unknown_job_id_raises():
+    sched = JobScheduler(RecordingBackend())
+    with pytest.raises(ConfigError, match="unknown job id"):
+        sched.poll(404)
+
+
+def test_backend_dropping_a_cell_is_an_error():
+    class Lossy:
+        def map(self, specs, report, on_claim):
+            return {}  # never reports, never returns outcomes
+
+    sched = JobScheduler(Lossy())
+    sched.submit(_spec(seed=1))
+    with pytest.raises(CampaignExecutionError, match="no outcome"):
+        sched.run()
+
+
+def test_stream_yields_scheduling_order_with_backpressure():
+    backend = RecordingBackend()
+    sched = JobScheduler(backend, max_in_flight=2)
+    sched.submit(_spec(seed=1), priority=0)
+    sched.submit(_spec(seed=2), priority=7)
+    sched.submit(_spec(seed=3), priority=3)
+    seeds = [job.spec.seed for job in sched.stream()]
+    assert seeds == [2, 3, 1]  # (-priority, seq), never submission order
+    assert [len(w) for w in backend.waves] == [2, 1]
+
+
+def test_stream_runs_waves_lazily():
+    """The stream executes a wave only when its next job in order is
+    unfinished — a consumer that stops early leaves later waves unrun."""
+    backend = RecordingBackend()
+    sched = JobScheduler(backend, max_in_flight=1)
+    sched.submit_many([_spec(seed=s) for s in range(3)])
+    stream = sched.stream()
+    next(stream)
+    assert len(backend.waves) == 1
+    assert len(sched.pending()) == 2
+
+
+def test_backend_interrupt_requeues_and_restates_counts():
+    """An interrupt mid-wave keeps finished cells, returns unfinished ones
+    to the queue, and restates the message with campaign-level counts."""
+    done_spec, lost_spec = _spec(seed=1), _spec(seed=2)
+
+    class Interrupting:
+        def map(self, specs, report, on_claim):
+            report(done_spec, "partial", 0.0)
+            raise CampaignInterrupted(
+                "campaign interrupted (terminated by signal 15) "
+                "with 1 of 2 cells finished",
+                results={done_spec: "partial"},
+            )
+
+    sched = JobScheduler(Interrupting())
+    # one pre-resolved (replayed) cell: it must not count as "fresh"
+    sched.resolve(sched.submit(_spec(seed=9)), "cached-outcome")
+    sched.submit_many([done_spec, lost_spec])
+    with pytest.raises(CampaignInterrupted) as excinfo:
+        sched.run()
+    assert str(excinfo.value) == (
+        "campaign interrupted (terminated by signal 15) "
+        "with 1 of 2 cells finished")
+    assert excinfo.value.results[done_spec] == "partial"
+    assert sched.poll(sched.submit(lost_spec)) == JOB_PENDING  # requeued
+
+
+# --- equivalence: the refactor must not move a single bit ---------------------------
+
+
+def _dicts(results):
+    return {spec.content_hash(): result_to_dict(outcome)
+            for spec, outcome in results.items()}
+
+
+@pytest.fixture(scope="module")
+def reference_results():
+    specs = [_spec(seed=s) for s in (3, 4)] + [_spec(seed=3, policy="SENC")]
+    return specs, run_specs(specs)
+
+
+def test_run_specs_capped_waves_bit_identical(reference_results):
+    specs, reference = reference_results
+    capped = run_specs(specs, max_in_flight=1)
+    assert _dicts(capped) == _dicts(reference)
+    assert list(capped) == list(reference)
+
+
+def test_run_specs_pool_with_backpressure_bit_identical(reference_results):
+    specs, reference = reference_results
+    pooled = run_specs(specs, jobs=2, max_in_flight=2)
+    assert _dicts(pooled) == _dicts(reference)
+
+
+def test_durable_stale_claim_reclaimed_through_scheduler(tmp_path):
+    """A dead owner's claim must not strand the cell: the durable backend
+    reclaims it and the scheduler re-executes, matching a clean run."""
+    specs = [_spec(seed=11)]
+    clean = run_specs(specs)
+    with RunLedger(tmp_path, specs):
+        pass  # initialise the ledger, then strand a claim from a dead pid
+    import repro.campaign.durable as durable
+    with open(tmp_path / LEDGER_FILENAME, "ab") as handle:
+        handle.write(encode_record({
+            "event": "claim", "cell": specs[0].content_hash(),
+            "label": specs[0].label(), "pid": 2 ** 22 - 17,
+            "host": socket.gethostname(), "lease_s": 900.0,
+            "at": durable.wall_clock(),
+        }))
+    stats = CampaignStats()
+    resumed = run_specs(specs, ledger_dir=tmp_path, progress=stats)
+    assert stats.executed == 1 and stats.cached == 0
+    assert _dicts(resumed) == _dicts(clean)
+    # second resume replays from the ledger without re-executing
+    stats2 = CampaignStats()
+    replayed = run_specs(specs, ledger_dir=tmp_path, progress=stats2)
+    assert stats2.executed == 0 and stats2.cached == 1
+    assert _dicts(replayed) == _dicts(clean)
+
+
+def test_run_campaign_replay_hook_skips_execution():
+    known = _spec(seed=1)
+    fresh = _spec(seed=2)
+    backend = RecordingBackend()
+    events = []
+    results = run_campaign(
+        JobScheduler(backend),
+        [known, fresh, known],  # duplicates collapse
+        replay=lambda spec: "replayed" if spec == known else None,
+        on_fresh=lambda spec, outcome: events.append((spec.seed, outcome)),
+    )
+    assert results == {known: "replayed", fresh: "ran:2"}
+    assert backend.waves == [[fresh]]
+    assert events == [(2, "ran:2")]  # replayed cells are not "fresh"
+
+
+# --- CellFailure serialisation (satellite) ------------------------------------------
+
+
+def test_cell_failure_dict_roundtrip():
+    failure = CellFailure(spec_hash="abc123", label="Ali124/pe1000/SWR",
+                         kind="timeout", message="cell exceeded 5.0s",
+                         attempts=2)
+    assert CellFailure.from_dict(failure.to_dict()) == failure
+
+
+def test_cell_failure_from_ledger_style_record():
+    # ledger `failed` records carry extra keys and omit optional ones
+    failure = CellFailure.from_dict({
+        "spec_hash": "abc123", "kind": "crash",
+        "event": "failed", "at": 1234.5,  # ledger framing: ignored
+    })
+    assert failure == CellFailure(spec_hash="abc123", label="", kind="crash",
+                                  message="", attempts=1)
+
+
+def test_cell_failure_requires_spec_hash():
+    with pytest.raises(ConfigError, match="spec_hash"):
+        CellFailure.from_dict({"kind": "error"})

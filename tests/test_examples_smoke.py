@@ -27,7 +27,8 @@ def test_examples_directory_complete():
     names = {p.name for p in EXAMPLES.glob("*.py")}
     assert {"quickstart.py", "read_retry_showdown.py", "odear_microscope.py",
             "timeline_anatomy.py", "tail_latency_study.py",
-            "soft_sensing_rescue.py", "retention_planning.py"} <= names
+            "soft_sensing_rescue.py", "retention_planning.py",
+            "fleet_tour.py"} <= names
 
 
 def test_quickstart_runs():
@@ -52,6 +53,12 @@ def test_soft_sensing_rescue_runs():
     out = _run("soft_sensing_rescue.py")
     assert "decode FAILS" in out
     assert "data intact" in out
+
+
+def test_fleet_tour_runs():
+    out = _run("fleet_tour.py")
+    assert "rollups bit-identical: True" in out
+    assert "RiFSSD" in out and "SENC" in out
 
 
 def test_retention_planning_runs():
