@@ -26,6 +26,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     fig17_main,
     fig18_channel_usage,
     fig19_latency,
+    frontier,
     table1_config,
     table2_workloads,
     overhead_rp,

@@ -13,6 +13,7 @@ directly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -73,3 +74,27 @@ class RetryTable:
 
     def __iter__(self):
         return iter(self._steps)
+
+
+def level_for_rber(rber: float, capability: float, n_steps: int = 12) -> int:
+    """The retry-table level a read at ``rber`` needs to decode.
+
+    The retry walk roughly halves the residual raw bit error rate per
+    entry (each VREF step recovers the dominant retention shift), so the
+    first decodable level for a page at ``rber`` is the number of halvings
+    that bring it under the ECC ``capability``: ``0`` when the default
+    voltages already suffice, else ``1 + floor(log2(rber / capability))``,
+    clamped to the table.  Pure and RNG-free — adaptive policies use it
+    both as the ground truth a read reveals and as the target their
+    predictions are scored against.
+    """
+    if capability <= 0.0:
+        raise ConfigError(f"capability must be > 0, got {capability!r}")
+    if not rber >= 0.0:
+        raise ConfigError(f"rber must be >= 0, got {rber!r}")
+    if n_steps < 1:
+        raise ConfigError(f"n_steps must be >= 1, got {n_steps}")
+    if rber <= capability:
+        return 0
+    level = 1 + int(math.floor(math.log2(rber / capability)))
+    return min(level, n_steps)

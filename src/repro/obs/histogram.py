@@ -81,8 +81,11 @@ class LatencyHistogram:
 
     def record(self, value_us: float) -> None:
         """Fold one latency sample into the histogram (O(1))."""
-        if not value_us >= 0.0:  # also rejects NaN
-            raise SimulationError(f"latency must be >= 0, got {value_us!r}")
+        # `not >=` also rejects NaN; +inf would pass it and poison
+        # sum_us/max_us (and every percentile derived from them) forever
+        if not value_us >= 0.0 or not math.isfinite(value_us):
+            raise SimulationError(
+                f"latency must be finite and >= 0, got {value_us!r}")
         self.count += 1
         self.sum_us += value_us
         if self.min_us is None or value_us < self.min_us:

@@ -76,11 +76,15 @@ OVERHEAD_FLOOR = 1.0 / 1.05
 BASELINE_CAP_FACTOR = 4.0
 
 #: The pinned end-to-end cells: the grid's most read-heavy workloads at
-#: the worn operating point, under the paper's RiF policy.
+#: the worn operating point, under the paper's RiF policy — plus one
+#: history-driven cell (repro.ssd.adaptive) so the stateful dispatch path
+#: (per-read ``begin_read`` + state-versioned route memo) stays on the
+#: gate.
 E2E_CELLS: Tuple[Tuple[str, str, float], ...] = (
     ("Ali124", "RiFSSD", 2000.0),
     ("Ali121", "RiFSSD", 2000.0),
     ("Sys1", "RiFSSD", 2000.0),
+    ("Ali124", "OVCSSD", 2000.0),
 )
 E2E_N_REQUESTS = 12000
 PIN_SEED = 7

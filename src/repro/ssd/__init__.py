@@ -9,8 +9,9 @@ channel stalls (the paper's ECCWAIT).
 The simulator does not decode real codewords per page (neither does the
 paper's); it draws decode outcomes, latencies and RP verdicts from the
 calibrated curves of :mod:`repro.ldpc` and :mod:`repro.core`, and composes
-them into event-accurate timing through seven pluggable read-retry policies
-(:mod:`.retry_policies`).
+them into event-accurate timing through pluggable read-retry policies —
+the seven static paper configurations (:mod:`.retry_policies`) plus the
+history-driven adaptive family (:mod:`.adaptive`).
 """
 
 from .events import EventQueue, Simulator
@@ -35,8 +36,15 @@ from .simulator import (
     TimelineEvent,
     TimelineTracer,
 )
+from .adaptive import (
+    ADAPTIVE_POLICIES,
+    AdaptivePolicy,
+    OnlineAdaptationPolicy,
+    OptimalVrefCachePolicy,
+    RetentionPredictorPolicy,
+)
 from .host import ClosedLoopHost, MultiQueueHost, TimedReplayHost
-from .refresh import RefreshAssessment, RefreshPlanner
+from .refresh import RefreshAssessment, RefreshPlanner, fast_forward
 from .energy import EnergyBreakdown, EnergyConfig, EnergyModel
 
 __all__ = [
@@ -67,7 +75,14 @@ __all__ = [
     "TimedReplayHost",
     "RefreshPlanner",
     "RefreshAssessment",
+    "fast_forward",
+    "ADAPTIVE_POLICIES",
+    "AdaptivePolicy",
+    "OptimalVrefCachePolicy",
+    "OnlineAdaptationPolicy",
+    "RetentionPredictorPolicy",
     "EnergyModel",
+
     "EnergyConfig",
     "EnergyBreakdown",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import SimulationError
 from ..obs.histogram import LatencyHistogram
@@ -124,6 +124,16 @@ class SimMetrics:
     fault_retries: int = 0        # extra sense/transfer attempts spent on faults
     retired_blocks: int = 0       # grown-bad-block retirements
     degraded_reads: int = 0       # reads failed (absorbed) in degraded mode
+    # --- history-driven policies (repro.ssd.adaptive) ---
+    #: reads whose predicted starting retry level was close enough to
+    #: decode on the first attempt
+    adaptive_hits: int = 0
+    #: reads whose predicted starting level was wrong (a full failed
+    #: round was paid before the reactive walk)
+    adaptive_mispredicts: int = 0
+    #: JSON-native snapshot of the policy's learned state at end of run
+    #: (``None`` for the static schemes)
+    adaptive_state: Optional[dict] = None
     # --- streaming latency distributions (repro.obs) ---
     #: always-on fixed-bucket histograms; the O(1)-memory latency path
     read_latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -172,6 +182,12 @@ class SimMetrics:
         # round-tripped instance is independent of the source dict
         metrics.read_latencies_us = [float(v) for v in metrics.read_latencies_us]
         metrics.write_latencies_us = [float(v) for v in metrics.write_latencies_us]
+        if metrics.adaptive_state is not None:
+            metrics.adaptive_state = {
+                k: (dict(v) if isinstance(v, dict) else
+                    list(v) if isinstance(v, list) else v)
+                for k, v in metrics.adaptive_state.items()
+            }
         return metrics
 
     # --- headline numbers --------------------------------------------------------

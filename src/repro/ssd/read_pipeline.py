@@ -471,6 +471,12 @@ class ReadPipeline:
         # dispatch needs, pure in ppn (geometry and wiring never change),
         # so the clean hot loop skips the PageAddress/ReadTarget hops
         self._routes: dict = {}
+        # history-driven policies (repro.ssd.adaptive): hand each page's
+        # identity to the policy before compiling its plan, and key the
+        # memoized routes on the policy's state epoch so invalidations
+        # (refresh.fast_forward) flush them
+        self._stateful = self.policy.stateful
+        self._routes_version = self.policy.state_version
         # --- structure-of-arrays slot storage ---
         self._free: List[int] = []
         self._phases: List[List[tuple]] = []   # flat (kind, dur, tag, dec)
@@ -579,6 +585,11 @@ class ReadPipeline:
             for lpn in lpns:
                 self._start_read_sequential(lpn, state)
             return
+        if self._stateful and self.policy.state_version != self._routes_version:
+            # learned state was invalidated (fast-forward): drop routes
+            # memoized under the old epoch
+            self._routes.clear()
+            self._routes_version = self.policy.state_version
         resolve = self.ftl.resolve_fast
         block_reads = self.ftl._block_reads
         sampler = self.sampler
@@ -608,7 +619,7 @@ class ReadPipeline:
                 reads = block_reads.get(key, 0) + 1
                 block_reads[key] = reads
                 rber = rber_of(route[0], route[1], retention, reads)
-                dispatch(lpn, route, rber, state)
+                dispatch(lpn, route, rber, state, retention)
             return
         resolved = [resolve(lpn) for lpn in lpns]
         cold = [i for i, r in enumerate(resolved) if r[1] is None]
@@ -636,8 +647,9 @@ class ReadPipeline:
             read_counts,
         )
         dispatch = self._dispatch_clean
-        for lpn, route, rber in zip(lpns, page_routes, rbers):
-            dispatch(lpn, route, rber, state)
+        for lpn, route, rber, retention in zip(lpns, page_routes, rbers,
+                                               retentions):
+            dispatch(lpn, route, rber, state, retention)
 
     def _start_read_sequential(self, lpn: int, state) -> None:
         """One page, scalar-core order: resolve -> inject -> sample ->
@@ -663,6 +675,8 @@ class ReadPipeline:
                                               self.sim.now)
         rber = sampler.rber(target.address.block_key(), target.address.page,
                             retention, target.block_read_count)
+        if self._stateful:
+            self.policy.begin_read(target.address.block_key(), retention)
         self._compile_and_dispatch(lpn, target, rber, state, faults)
         if (ssd.read_disturb_threshold is not None
                 and target.block_read_count >= ssd.read_disturb_threshold):
@@ -690,7 +704,7 @@ class ReadPipeline:
         return route
 
     def _dispatch_clean(self, lpn: int, route: tuple, rber: float,
-                        state) -> None:
+                        state, retention: float = 0.0) -> None:
         """Fault-free twin of :meth:`_compile_and_dispatch` fed by a
         memoized route instead of a :class:`ReadTarget`.
 
@@ -699,6 +713,8 @@ class ReadPipeline:
         """
         build = self._build
         build.reset(rber)
+        if self._stateful:
+            self.policy.begin_read(route[0], retention)
         self.policy.plan_into(build, rber)
         self._account_plan(build)
         if self._trace_requests and state.traced:

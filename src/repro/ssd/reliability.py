@@ -64,6 +64,10 @@ class PageReliabilitySampler:
             1.0 if operating_temp_c is None
             else self.thermal.acceleration_factor(operating_temp_c)
         )
+        #: accumulated retention fast-forward (repro.ssd.refresh), in the
+        #: same equivalent-days space as the cold/warm ages; cold ages are
+        #: cached offset-inclusive, so advances invalidate that cache
+        self.retention_offset_days = 0.0
         # cold ages are pure in (seed, lpn) and workloads re-read the same
         # logical pages constantly — memoize the hash (repro.perf)
         self._cold_age_cache = MemoCache("reliability.cold_age")
@@ -109,7 +113,9 @@ class PageReliabilitySampler:
 
     def _cold_age_days_uncached(self, lpn: int) -> float:
         u = _hash_to_unit(self.seed, 0xC01D, int(lpn))
-        return u * self.reliability.refresh_days
+        age = u * self.reliability.refresh_days
+        offset = self.retention_offset_days
+        return age + offset if offset else age
 
     def cold_age_days_batch(self, lpns: Sequence[int]) -> List[float]:
         """Cold ages for a whole batch of pages, vectorized and bit-exact.
@@ -124,6 +130,10 @@ class PageReliabilitySampler:
         us = hash_to_unit_batch(self.seed, 0xC01D,
                                 np.asarray(lpns, dtype=np.uint64))
         ages = (us * self.reliability.refresh_days).tolist()
+        offset = self.retention_offset_days
+        if offset:
+            # python-float add, matching the scalar path bit for bit
+            ages = [age + offset for age in ages]
         self._cold_age_cache.seed_many(zip(lpns, ages))
         return ages
 
@@ -131,7 +141,40 @@ class PageReliabilitySampler:
         """Retention age of a page written during the simulation."""
         if now_us < written_at_us:
             raise ConfigError("read before write")
-        return (now_us - written_at_us) / US_PER_DAY
+        age = (now_us - written_at_us) / US_PER_DAY
+        offset = self.retention_offset_days
+        return age + offset if offset else age
+
+    # --- lifetime fast-forward (repro.ssd.refresh) ---------------------------------
+
+    def advance_retention(self, days: float) -> None:
+        """Fast-forward every page's retention age by ``days``.
+
+        Models dwell time passing with no traffic (the campaign-epoch
+        jump of :func:`repro.ssd.refresh.fast_forward`): cold and warm
+        ages both shift by the accumulated offset.  Cold ages are cached
+        offset-inclusive, so the memo table is dropped here.
+        """
+        if days < 0:
+            raise ConfigError(f"retention advance must be >= 0, got {days!r}")
+        if days == 0:
+            return
+        self.retention_offset_days += days
+        self._cold_age_cache.invalidate()
+
+    def advance_pe(self, delta: float) -> None:
+        """Advance the drive's wear by ``delta`` P/E cycles.
+
+        Recomputes the read-disturb coefficient and drops the per-page
+        base cache (its keys carry retention but not wear).
+        """
+        if delta < 0:
+            raise ConfigError(f"P/E advance must be >= 0, got {delta!r}")
+        if delta == 0:
+            return
+        self.pe_cycles += delta
+        self._disturb_per_read = self.model.read_disturb_rber(self.pe_cycles, 1)
+        self._page_base_cache.invalidate()
 
     # --- RBER -----------------------------------------------------------------------
 

@@ -1,10 +1,14 @@
-"""The seven evaluated SSD read-retry schemes (SecIII-B, SecVI-A).
+"""The evaluated SSD read-retry schemes (SecIII-B, SecVI-A).
 
 Each policy compiles a page read into a timed :class:`ReadPlan` — a
 sequence of SENSE (plane) and TRANSFER(+decode) (channel, ECC) phases — by
 sampling outcomes from the :class:`~repro.ssd.ecc_model.EccOutcomeModel`.
 The discrete-event simulator then walks the plan through the contended
-resources; all scheme-specific logic lives here.
+resources; all scheme-specific logic for the seven *static* paper
+configurations lives here.  The *history-driven* family (per-block
+optimal-VREF caching, online threshold adaptation, retention-age VREF
+prediction) lives in :mod:`repro.ssd.adaptive` and registers through the
+same :func:`make_policy` entry point.
 
 ==========  =====================================================================
 Policy      Mechanism
@@ -25,6 +29,12 @@ RPSSD       RiF's RP moved to the *controller*: doomed decodes are aborted
 RiFSSD      The paper's scheme: on-die RP + RVS.  Predicted-uncorrectable
             pages are re-read in-die and never transferred; only
             mispredictions ever ship a bad page.
+OVCSSD      Per-block optimal-VREF cache (Park et al.): starts the retry walk
+            at the level the block's last read revealed.
+OCASSD      Online threshold adaptation (Peleato et al.): a drive-wide VREF
+            estimate updated from every decode's ones-count feedback.
+RVPSSD      Retention-age VREF prediction (Cai et al.): dwell time maps to a
+            starting level through the calibrated retention model.
 ==========  =====================================================================
 """
 
@@ -165,16 +175,50 @@ class PolicyName(str, enum.Enum):
     SWR_PLUS = "SWR+"
     RPSSD = "RPSSD"
     RIF = "RiFSSD"
+    # history-driven family (repro.ssd.adaptive)
+    OVC = "OVCSSD"
+    OCA = "OCASSD"
+    RVP = "RVPSSD"
 
 
 class ReadRetryPolicy:
-    """Base class: shared plan-building vocabulary."""
+    """Base class: shared plan-building vocabulary.
+
+    Policies are stateless by default: :meth:`plan_into` is a pure
+    function of ``rber`` and the RNG stream.  History-driven policies
+    (:mod:`repro.ssd.adaptive`) set ``stateful = True`` and implement the
+    state hooks below; both simulation cores call :meth:`begin_read` with
+    the page's identity immediately before compiling its plan, and
+    :func:`repro.ssd.refresh.fast_forward` calls :meth:`on_fast_forward`
+    when drive age jumps invalidate what was learned.
+    """
 
     name: PolicyName
+
+    #: True for history-driven policies with per-drive mutable state.
+    stateful = False
+
+    #: Monotonic counter bumped whenever learned state is *invalidated*
+    #: (not on per-read learning).  The batched pipeline keys its memoized
+    #: per-ppn dispatch routes on this so invalidations flush them.
+    state_version = 0
 
     def __init__(self, timings: NandTimings, model: EccOutcomeModel):
         self.timings = timings
         self.model = model
+
+    # --- stateful-policy hooks (no-ops for the static schemes) -------------------
+
+    def begin_read(self, block_key, retention_days: float) -> None:
+        """Receive the upcoming read's identity (called only when
+        ``stateful``; must not draw from the RNG stream)."""
+
+    def on_fast_forward(self, retention_days: float, pe_delta: float) -> None:
+        """Drive age jumped: discard learned state, bump ``state_version``."""
+
+    def export_state(self) -> Optional[dict]:
+        """JSON-ready snapshot of learned state (``None`` when stateless)."""
+        return None
 
     # --- the one required hook ---------------------------------------------------
 
@@ -463,9 +507,27 @@ POLICIES: Dict[PolicyName, Callable[..., ReadRetryPolicy]] = {
 }
 
 
+def _ensure_adaptive_registered() -> None:
+    """Fold the history-driven family into ``POLICIES`` on first use.
+
+    :mod:`repro.ssd.adaptive` imports this module for the base class, so
+    the registration runs lazily instead of at import time.
+    """
+    if PolicyName.OVC not in POLICIES:
+        from .adaptive import ADAPTIVE_POLICIES
+
+        POLICIES.update(ADAPTIVE_POLICIES)
+
+
 def make_policy(
     name, timings: NandTimings, model: EccOutcomeModel, **kwargs
 ) -> ReadRetryPolicy:
     """Instantiate a policy by name (string or :class:`PolicyName`)."""
-    key = PolicyName(name)
+    _ensure_adaptive_registered()
+    try:
+        key = PolicyName(name)
+    except ValueError:
+        valid = ", ".join(p.value for p in PolicyName)
+        raise ConfigError(
+            f"unknown policy {name!r}; valid policies: {valid}") from None
     return POLICIES[key](timings, model, **kwargs)

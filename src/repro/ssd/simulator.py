@@ -380,6 +380,13 @@ class SSDSimulator:
         self.metrics.elapsed_us = self.sim.now
         for resource in (*self.channels, *self.planes, self.host_link):
             resource.finalize()
+        # history-driven policies: snapshot learned state and hit/miss
+        # counters into the metrics so result JSON (and thus the campaign
+        # cache and fleet rollups) carries them; idempotent on re-entry
+        if self.policy.stateful:
+            self.metrics.adaptive_hits = self.policy.hits
+            self.metrics.adaptive_mispredicts = self.policy.mispredicts
+            self.metrics.adaptive_state = self.policy.export_state()
         # snapshots consume the channels' closing ECCWAIT probes above, so
         # the window series freezes only after every interval is closed
         if self.snapshots is not None and not self.snapshots.finalized:
@@ -421,6 +428,8 @@ class SSDSimulator:
             target.address.block_key(), target.address.page,
             retention, target.block_read_count,
         )
+        if self.policy.stateful:
+            self.policy.begin_read(target.address.block_key(), retention)
         plan = self.policy.plan_read(rber)
         self._account_plan(plan)
         if state.traced and self.tracer.config.trace_requests:

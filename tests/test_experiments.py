@@ -11,7 +11,7 @@ from repro.experiments.runner import main
 EXPECTED_IDS = {
     "fig3", "fig4", "fig6", "fig7", "fig10", "fig11", "fig12", "fig14",
     "fig17", "fig18", "fig19", "table1", "table2", "overhead",
-    "chaos",
+    "chaos", "frontier",
 }
 
 

@@ -30,6 +30,20 @@ def test_percentile_parity_with_exact(q):
     assert exact * (1 - 1e-12) <= approx <= exact * (1 + err) * (1 + 1e-12)
 
 
+@pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf"),
+                                 -float("inf")])
+def test_record_rejects_non_finite_and_negative(bad):
+    # regression: +inf used to pass the `not value >= 0` guard and poison
+    # sum_us/max_us (and every percentile derived from them) forever
+    hist = LatencyHistogram()
+    hist.record(10.0)
+    with pytest.raises(SimulationError):
+        hist.record(bad)
+    assert hist.count == 1
+    assert math.isfinite(hist.sum_us) and math.isfinite(hist.max_us)
+    assert hist.max_us == 10.0
+
+
 def test_extremes_are_exact():
     values = _samples(n=500)
     hist = LatencyHistogram()

@@ -34,8 +34,15 @@ def test_registry_covers_all_policies():
 
 
 def test_unknown_policy_rejected():
-    with pytest.raises(ValueError):
+    # a ConfigError (not a bare ValueError/KeyError) that names every
+    # valid policy, including the adaptive family
+    with pytest.raises(ConfigError, match="SSDtwo") as exc_info:
         _policy("SSDtwo")
+    message = str(exc_info.value)
+    for name in PolicyName:
+        assert name.value in message
+    assert "OVCSSD" in message and "OCASSD" in message \
+        and "RVPSSD" in message
 
 
 # --- SSDzero -------------------------------------------------------------------
